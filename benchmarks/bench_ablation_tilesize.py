@@ -1,0 +1,13 @@
+"""Ablation benchmark — tile size vs workload burst latency (the latency
+counterweight to Fig. 9's iso-area throughput scaling)."""
+
+
+def test_ablation_tile_size(paper_experiment):
+    result = paper_experiment("tilesize")
+    bursts = [row[3] for row in result.rows]
+    # larger tiles -> monotonically longer mean bursts...
+    assert bursts == sorted(bursts)
+    # ...approaching but never exceeding the worst case
+    worst = result.rows[-1][4]
+    assert bursts[-1] <= worst
+    assert bursts[0] < bursts[-1]

@@ -1,0 +1,54 @@
+"""Throughput micro-benchmarks of the core engines (not a paper artifact —
+performance tracking for the library itself)."""
+
+import numpy as np
+
+from repro.core.tempus_core import TempusCore
+from repro.hw.synthesis import synthesize
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.conv_core import ConvolutionCore
+from repro.nvdla.dataflow import golden_conv2d
+from repro.nvdla.hwmodel import cmac_unit_netlist
+from repro.utils.intrange import INT8
+from repro.utils.rng import make_rng
+
+
+def _layer():
+    rng = make_rng("microbench")
+    activations = INT8.random_array(rng, (16, 14, 14))
+    weights = INT8.random_array(rng, (16, 16, 3, 3))
+    return activations, weights
+
+
+def test_golden_conv_throughput(benchmark):
+    activations, weights = _layer()
+    out = benchmark(golden_conv2d, activations, weights, 1, 1)
+    assert out.shape == (16, 14, 14)
+
+
+def test_binary_core_fast_model(benchmark):
+    activations, weights = _layer()
+    core = ConvolutionCore(CoreConfig(k=16, n=16))
+    result = benchmark(core.run_layer, activations, weights, 1, 1)
+    assert result.cycles > 0
+
+
+def test_tempus_core_fast_model(benchmark):
+    activations, weights = _layer()
+    core = TempusCore(CoreConfig(k=16, n=16))
+    result = benchmark(core.run_layer, activations, weights, 1, 1)
+    assert result.cycles > 0
+
+
+def test_tempus_core_cycle_accurate_small(benchmark):
+    rng = make_rng("microbench-cycle")
+    activations = INT8.random_array(rng, (4, 4, 4))
+    weights = INT8.random_array(rng, (2, 4, 3, 3))
+    core = TempusCore(CoreConfig(k=2, n=4), mode="cycle")
+    result = benchmark(core.run_layer, activations, weights, 1, 1)
+    assert result.output.shape == (2, 4, 4)
+
+
+def test_synthesis_estimator_speed(benchmark):
+    result = benchmark(synthesize, cmac_unit_netlist(16, 16, INT8))
+    assert result.area_um2 > 0

@@ -1,0 +1,13 @@
+"""Extension benchmark — burst-aware tile scheduling on MobileNetV2
+(the paper's Sec. VI "custom dataflows and compiler optimizations")."""
+
+
+def test_ext_scheduling(paper_experiment):
+    result = paper_experiment("scheduling")
+    total = result.rows[-1]
+    assert total[0].startswith("TOTAL")
+    baseline, optimized = total[1], total[2]
+    # the scheduler must save cycles overall and never lose
+    assert optimized < baseline
+    for row in result.rows:
+        assert row[2] <= row[1]

@@ -1,0 +1,16 @@
+"""Fig. 1 — quantization accuracy vs precision.
+
+Trains the NumPy CNN substrate and sweeps post-training quantization from
+INT8 down to INT2; the reproduced claim is minimal degradation through
+INT4 with a cliff below.
+"""
+
+
+def test_fig1_quant_accuracy(paper_experiment):
+    result = paper_experiment("fig1")
+    by_precision = {row[0]: row for row in result.rows}
+    fp32 = by_precision["FP32"][1]
+    assert fp32 > 80.0  # the substrate must actually learn
+    assert by_precision["INT8"][2] < 2.0  # <2 points lost at INT8
+    assert by_precision["INT4"][2] < 5.0  # minimal degradation at INT4
+    assert by_precision["INT2"][2] > by_precision["INT4"][2]

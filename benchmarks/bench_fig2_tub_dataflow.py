@@ -1,0 +1,22 @@
+"""Fig. 2 — INT4 tub multiplier dataflow example, plus a throughput
+micro-benchmark of the behavioral lane."""
+
+from repro.core.tub_multiplier import TubMultiplier
+
+
+def test_fig2_tub_dataflow(paper_experiment):
+    result = paper_experiment("fig2")
+    assert all(row[4] == "yes" for row in result.rows)
+
+
+def test_tub_multiplier_throughput(benchmark):
+    """Micro-benchmark: worst-case INT8 multiplications per second of the
+    cycle-accurate lane model."""
+    lane = TubMultiplier()
+
+    def worst_case_multiply():
+        lane.load(127, -128)
+        return lane.run_to_completion()
+
+    product = benchmark(worst_case_multiply)
+    assert product == 127 * -128

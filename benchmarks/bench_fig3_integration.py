@@ -1,0 +1,11 @@
+"""Fig. 3 — Tempus Core as a drop-in replacement inside the NVDLA
+convolution pipeline (cycle-accurate, bit-exact)."""
+
+
+def test_fig3_integration(paper_experiment):
+    result = paper_experiment("fig3")
+    assert "outputs bit-exact: True" in result.notes[0]
+    binary_cycles = result.rows[0][1]
+    tempus_cycles = result.rows[1][1]
+    # uniform random INT8 weights push bursts near the worst case
+    assert binary_cycles < tempus_cycles <= binary_cycles * 65

@@ -1,0 +1,13 @@
+"""Fig. 4 — 16x16 PE array post-synthesis power and cell area."""
+
+
+def test_fig4_array16x16(paper_experiment):
+    result = paper_experiment("fig4")
+    for row in result.rows:
+        area_reduction, power_reduction = row[3], row[6]
+        assert area_reduction > 30.0
+        assert power_reduction > 30.0
+    int8_row = next(row for row in result.rows if row[0] == "INT8")
+    int4_row = next(row for row in result.rows if row[0] == "INT4")
+    # paper trend: INT8 area advantage exceeds INT4's
+    assert int8_row[3] > int4_row[3]

@@ -1,0 +1,14 @@
+"""Fig. 5 — entire CMAC unit vs PCU across array widths (16xn for n in
+{4, 16, 32}) and precisions (INT2/INT4/INT8)."""
+
+
+def test_fig5_cmac_vs_pcu(paper_experiment):
+    result = paper_experiment("fig5")
+    assert len(result.rows) == 9  # 3 precisions x 3 widths
+    for row in result.rows:
+        assert row[3] < row[2], f"PCU area must win for {row[0]} {row[1]}"
+        assert row[7] > 0, f"PCU power must win for {row[0]} {row[1]}"
+    # area/power must grow monotonically with n within a precision
+    for precision in ("INT2", "INT4", "INT8"):
+        areas = [row[3] for row in result.rows if row[0] == precision]
+        assert areas == sorted(areas)

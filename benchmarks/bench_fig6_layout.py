@@ -1,0 +1,13 @@
+"""Fig. 6 — post-P&R layout density maps, INT4 16x4 CMAC vs PCU."""
+
+
+def test_fig6_layout(paper_experiment):
+    result = paper_experiment("fig6")
+    cmac_row = next(row for row in result.rows if row[0] == "CMAC")
+    pcu_row = next(row for row in result.rows if row[0] == "PCU")
+    # the PCU needs a much smaller die for the same 70% utilization
+    assert pcu_row[1] < cmac_row[1]
+    # both meet the utilization target
+    assert abs(cmac_row[2] - 0.70) < 0.01
+    assert abs(pcu_row[2] - 0.70) < 0.01
+    assert len(result.artifacts) == 2

@@ -1,0 +1,15 @@
+"""Fig. 7 — weight-magnitude profiling of MobileNetV2 and ResNeXt101
+(16x16 max pool over full-size synthetic models)."""
+
+
+def test_fig7_weight_magnitude(paper_experiment):
+    result = paper_experiment("fig7")
+    for row in result.rows:
+        model, _tiles, _mean_max, mean_burst, worst = row
+        # workload latency well below the 64-cycle worst case (paper:
+        # "almost halved")
+        assert mean_burst < worst * 0.75, model
+        assert mean_burst > 5, model
+    for comparison in result.comparisons:
+        # within 25% of the paper's 33 / 31 cycle means
+        assert comparison.within_factor(1.33), comparison.metric

@@ -1,0 +1,13 @@
+"""Fig. 8 — silent-PE (zero weight) profiling per 16x16 tile."""
+
+
+def test_fig8_sparsity_profile(paper_experiment):
+    result = paper_experiment("fig8")
+    for row in result.rows:
+        model, _tiles, mean_silent, mean_active, sparsity_pct = row
+        # silent PEs are a small fraction of the 256-lane tile
+        assert 0.0 < mean_silent < 16.0, model
+        assert mean_active > 240.0, model
+        # silent count consistent with word sparsity (i.i.d. zeros land
+        # near sparsity x 256; thin depthwise tiles pull it down)
+        assert mean_silent <= sparsity_pct / 100.0 * 256.0 * 1.2, model

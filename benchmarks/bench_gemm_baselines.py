@@ -1,0 +1,32 @@
+"""Sec. II-B background — unary GEMM baselines (tuGEMM / tubGEMM /
+binary), plus a latency micro-benchmark."""
+
+import numpy as np
+
+from repro.gemm import TubGemm
+from repro.utils.intrange import INT8
+from repro.utils.rng import make_rng
+
+
+def test_gemm_baselines(paper_experiment):
+    result = paper_experiment("gemm")
+    assert all(row[4] == "yes" for row in result.rows)
+    by_engine = {}
+    for row in result.rows:
+        by_engine.setdefault((row[0], row[1]), row[2])
+    # latency ordering: binary < tub << tu at INT8
+    assert (
+        by_engine[("BinaryGemm", "INT8")]
+        < by_engine[("TubGemm", "INT8")]
+        < by_engine[("TuGemm", "INT8")]
+    )
+
+
+def test_tubgemm_throughput(benchmark):
+    """Micro-benchmark: 32x32x32 INT8 tubGEMM (functional model)."""
+    rng = make_rng("bench-gemm")
+    a = INT8.random_array(rng, (32, 32))
+    b = INT8.random_array(rng, (32, 32))
+    engine = TubGemm(INT8)
+    result = benchmark(engine.multiply, a, b)
+    assert np.array_equal(result.output, a @ b)

@@ -1,0 +1,19 @@
+"""Sec. V-C — workload-dependent energy per k-psum burst on the 16x16
+array (binary vs tub, INT8 workloads + INT4/INT8 worst cases)."""
+
+
+def test_secVC_energy(paper_experiment):
+    result = paper_experiment("secVC")
+    rows = {(row[0], row[1]): row for row in result.rows}
+    int8_worst = rows[("worst-case", "INT8")]
+    int4_worst = rows[("worst-case", "INT4")]
+    # the paper's headline: the energy gap shrinks with precision
+    # (11.7x at INT8 -> 2.3x at INT4)
+    assert int4_worst[6] < int8_worst[6] / 3
+    # tub loses on energy at INT8 (the latency-for-area trade)
+    for (workload, precision), row in rows.items():
+        if precision == "INT8":
+            assert row[4] > row[3], workload
+    # silent-PE adjustment only helps
+    for row in result.rows:
+        assert row[5] <= row[4] + 1e-9

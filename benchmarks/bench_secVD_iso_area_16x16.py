@@ -1,0 +1,12 @@
+"""Sec. V-D — iso-area throughput improvement for the 16x16 array
+(paper: 5x INT8, 4x INT4)."""
+
+
+def test_secVD_iso_area(paper_experiment):
+    result = paper_experiment("secVD")
+    int8 = next(row for row in result.rows if row[0] == "INT8")
+    int4 = next(row for row in result.rows if row[0] == "INT4")
+    # tub wins at iso-area for both precisions, more at INT8
+    assert int8[3] > 1.5
+    assert int4[3] > 1.2
+    assert int8[3] > int4[3]

@@ -1,0 +1,12 @@
+"""Table I — word sparsity of the eight INT8-quantized CNNs (full-size
+synthetic zoo, calibrated against the paper's numbers)."""
+
+
+def test_table1_word_sparsity(paper_experiment):
+    result = paper_experiment("table1")
+    assert len(result.rows) == 8
+    for comparison in result.comparisons:
+        # every model within 0.75 points of its published sparsity
+        assert abs(comparison.measured - comparison.paper) < 0.75, (
+            comparison.metric
+        )

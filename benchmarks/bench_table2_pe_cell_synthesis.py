@@ -1,0 +1,15 @@
+"""Table II — single PE cell post-synthesis area and power
+(binary vs tub, INT4/INT8, n in {16, 256, 1024})."""
+
+
+def test_table2_pe_cell_synthesis(paper_experiment):
+    result = paper_experiment("table2")
+    assert len(result.rows) == 6
+    for row in result.rows:
+        precision, n = row[0], row[1]
+        assert row[3] < row[2], f"tub area must win at {precision} n={n}"
+        assert row[6] < row[5], f"tub power must win at {precision} n={n}"
+    # the paper's precision trend: INT8 improvements exceed INT4's
+    int8_reductions = [row[4] for row in result.rows if row[0] == "INT8"]
+    int4_reductions = [row[4] for row in result.rows if row[0] == "INT4"]
+    assert min(int8_reductions) > max(int4_reductions)

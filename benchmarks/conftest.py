@@ -1,0 +1,44 @@
+"""Benchmark harness shared helpers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*`` module regenerates one table or figure of the paper at
+full scale, writes its report + CSV series under ``results/``, and checks
+the reproduced *shape* (orderings, trends) inline.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import ExperimentResult, run_experiment
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def paper_experiment(benchmark):
+    """Run an experiment driver once under the benchmark timer and persist
+    its rendered report."""
+
+    def runner(experiment_id: str, quick: bool = False) -> ExperimentResult:
+        result = benchmark.pedantic(
+            run_experiment,
+            kwargs=dict(
+                experiment_id=experiment_id,
+                quick=quick,
+                artifact_dir=RESULTS_DIR,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        report = result.render()
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        report_path = RESULTS_DIR / f"{experiment_id}_report.txt"
+        report_path.write_text(report + "\n")
+        print("\n" + report)
+        return result
+
+    return runner

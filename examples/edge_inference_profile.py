@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Edge-inference profiling: MobileNetV2 on a 16x16 Tempus Core.
+
+Reproduces the paper's Sec. V-C workflow end to end for one CNN: weight
+profiling (Figs. 7/8), per-layer latency vs the binary baseline, and the
+workload-dependent energy estimate.
+
+Run:  python examples/edge_inference_profile.py [--full]
+      (--full uses the unscaled model; default runs a 0.5-width variant
+      to keep the demo under ~10 seconds)
+"""
+
+import sys
+
+from repro.models.weights import load_quantized_model
+from repro.nvdla.config import CoreConfig
+from repro.profiling.energy import workload_energy
+from repro.profiling.latency import model_workload_latency
+from repro.profiling.magnitude import profile_model_magnitudes
+from repro.profiling.sparsity import profile_model_sparsity
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    scale = 1.0 if "--full" in sys.argv else 0.5
+    config = CoreConfig(k=16, n=16, precision=8)
+    print(f"loading synthetic INT8 MobileNetV2 (width scale {scale})...")
+    model = load_quantized_model("mobilenet_v2", scale=scale)
+
+    # --- Fig. 7 / Fig. 8 style profiling --------------------------------
+    magnitude = profile_model_magnitudes(model)
+    sparsity = profile_model_sparsity(model)
+    print(f"  conv layers        : {len(model.layers)}")
+    print(f"  total weights      : {model.total_weights / 1e6:.2f}M")
+    print(f"  word sparsity      : {model.word_sparsity() * 100:.2f}%")
+    print(f"  mean tile max      : {magnitude.mean_magnitude():.1f}")
+    print(f"  mean burst cycles  : {magnitude.mean_latency_cycles():.1f} "
+          "(worst case 64)")
+    print(f"  silent PEs per tile: {sparsity.mean_silent_pes():.1f} / 256")
+    print()
+
+    # --- per-layer latency ----------------------------------------------
+    workload = model_workload_latency(model, config)
+    slowest = sorted(
+        workload.layers, key=lambda l: l.tempus_cycles, reverse=True
+    )[:8]
+    rows = [
+        (
+            layer.layer.removeprefix("mobilenet_v2."),
+            layer.binary_cycles,
+            layer.tempus_cycles,
+            f"{layer.slowdown:.1f}x",
+            f"{layer.mean_burst:.1f}",
+        )
+        for layer in slowest
+    ]
+    print(
+        format_table(
+            ["layer", "binary cyc", "tempus cyc", "slowdown", "mean burst"],
+            rows,
+            title="heaviest layers (16x16 array)",
+        )
+    )
+    print()
+    print(f"whole model: binary {workload.binary_cycles:,} cycles, "
+          f"tempus {workload.tempus_cycles:,} cycles "
+          f"({workload.slowdown:.1f}x)")
+    print()
+
+    # --- Sec. V-C energy --------------------------------------------------
+    energy = workload_energy(
+        "MobileNetV2",
+        config,
+        burst_cycles=magnitude.mean_latency_cycles(),
+        active_fraction=sparsity.mean_active_pes() / 256.0,
+    )
+    print("energy per k-psum burst (measured array powers @ 250 MHz):")
+    print(f"  binary array : {energy.binary_energy_pj:6.2f} pJ")
+    print(f"  tub array    : {energy.tub_energy_pj:6.2f} pJ "
+          f"({energy.energy_gap:.1f}x)")
+    print(f"  silent-PE adjusted: "
+          f"{energy.tub_energy_silent_adjusted_pj:6.2f} pJ")
+    print()
+    print("the tub core trades energy-per-burst for a "
+          f"{1:.0f}/{energy.energy_gap:.1f} of the area — see the secVD "
+          "benchmark for the iso-area throughput view.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Drop-in integration demo: the full NVDLA convolution pipeline
+(CBUF -> CSC -> MAC array -> CACC), cycle-accurate, with Tempus Core's PCU
+swapped in for the CMAC — and nothing else changed.
+
+Run:  python examples/nvdla_integration.py
+"""
+
+import numpy as np
+
+from repro import ConvolutionCore, TempusCore, golden_conv2d
+from repro.nvdla.cbuf import ConvBuffer
+from repro.nvdla.config import NV_SMALL
+
+
+def main() -> None:
+    config = NV_SMALL  # the embedded 8x8 INT8 configuration
+    rng = np.random.default_rng(7)
+    activations = rng.integers(-128, 128, size=(8, 10, 10))
+    weights = rng.integers(-64, 65, size=(8, 8, 3, 3))
+
+    print(f"configuration: nv_small ({config.describe()} array)")
+    print()
+
+    results = {}
+    for label, engine_cls in (
+        ("NVDLA CC (binary CMAC)", ConvolutionCore),
+        ("Tempus Core (tub PCU)", TempusCore),
+    ):
+        cbuf = ConvBuffer(capacity_kib=128, banks=16)
+        engine = engine_cls(config, mode="cycle", cbuf=cbuf)
+        result = engine.run_layer(activations, weights, padding=1)
+        results[label] = result
+        print(f"{label}")
+        print(f"  cycles            : {result.cycles}")
+        print(f"  atoms issued      : {result.atoms}")
+        print(f"  CBUF feature reads: {cbuf.feature_reads}")
+        print(f"  CBUF weight reads : {cbuf.weight_reads}")
+        if result.gated_cell_cycles:
+            print(f"  idle lane-cycles  : {result.gated_cell_cycles}")
+        print()
+
+    golden = golden_conv2d(activations, weights, padding=1)
+    binary = results["NVDLA CC (binary CMAC)"]
+    tempus = results["Tempus Core (tub PCU)"]
+    print("integrity checks")
+    print(f"  binary == golden : {np.array_equal(binary.output, golden)}")
+    print(f"  tempus == golden : {np.array_equal(tempus.output, golden)}")
+    print(f"  identical atom schedules: {binary.atoms == tempus.atoms}")
+    print()
+    print("The CSC schedule, CBUF accesses and CACC accumulation are "
+          "identical —")
+    print("only the MAC array changed, stalling the sequencer through the")
+    print("standard valid/ready handshake during multi-cycle tub bursts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Hardware flow demo: elaborate both 16x4 INT4 units to gate-level
+netlists, estimate synthesis PPA, then place-and-route and render the
+layout density maps (the paper's Fig. 6 / Table III flow).
+
+Run:  python examples/synthesis_and_pnr.py
+"""
+
+from repro.core.hwmodel import pcu_unit_netlist, tub_pe_cell_netlist
+from repro.hw.breakdown import module_breakdown, render_breakdown
+from repro.hw.pnr import place_and_route
+from repro.hw.synthesis import synthesize
+from repro.nvdla.hwmodel import binary_pe_cell_netlist, cmac_unit_netlist
+from repro.utils.intrange import INT4
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    designs = {
+        "CMAC (binary)": cmac_unit_netlist(16, 4, INT4),
+        "PCU (tub)": pcu_unit_netlist(16, 4, INT4),
+    }
+
+    synth_rows = []
+    for label, netlist in designs.items():
+        result = synthesize(netlist, clock_mhz=250)
+        top_cells = ", ".join(
+            f"{name}:{count}"
+            for name, count in result.cells_by_type.most_common(4)
+        )
+        synth_rows.append(
+            (
+                label,
+                result.cell_count,
+                round(result.area_mm2, 4),
+                round(result.total_power_mw, 3),
+                round(result.critical_path_ns, 2),
+                top_cells,
+            )
+        )
+    print(
+        format_table(
+            ["design", "cells", "area mm2", "power mW", "path ns",
+             "top cells"],
+            synth_rows,
+            title="post-synthesis (NanGate45 model, 250 MHz)",
+        )
+    )
+    print()
+
+    pnr_rows = []
+    layouts = []
+    for label, netlist in designs.items():
+        result = place_and_route(netlist, utilization=0.70)
+        pnr_rows.append(
+            (
+                label,
+                round(result.die_area_mm2, 4),
+                round(result.floorplan.utilization, 2),
+                round(result.routing.total_wirelength_um / 1e3, 1),
+                round(result.total_power_mw, 3),
+                "yes" if result.meets_timing else "NO",
+            )
+        )
+        layouts.append(result.layout.render(f"{label} placement density"))
+    print(
+        format_table(
+            ["design", "die mm2", "util", "wire mm", "power mW", "timing"],
+            pnr_rows,
+            title="post-place-and-route (70% floorplan utilization)",
+        )
+    )
+    print()
+    for layout in layouts:
+        print(layout)
+        print()
+
+    # Where does the area/power actually go inside one PE cell?
+    for label, cell in (
+        ("binary PE cell (INT4, n=4)", binary_pe_cell_netlist(INT4, 4)),
+        ("tub PE cell (INT4, n=4)", tub_pe_cell_netlist(INT4, 4)),
+    ):
+        print(render_breakdown(module_breakdown(cell), title=label))
+        print()
+
+
+if __name__ == "__main__":
+    main()

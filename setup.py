@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The reproduction environment is fully offline and has no ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) cannot run.  This shim
+lets ``pip install -e .`` take the legacy ``setup.py develop`` path; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

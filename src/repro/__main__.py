@@ -1,0 +1,75 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list                     # available experiments
+    python -m repro run fig7                 # one experiment, full scale
+    python -m repro run table2 --quick       # reduced parameters
+    python -m repro run all --out results/   # every experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Tempus Core reproduction: regenerate the paper's tables and "
+            "figures"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    runner = commands.add_parser("run", help="run one experiment (or all)")
+    runner.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    runner.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced parameters (scaled models, fewer sweep points)",
+    )
+    runner.add_argument(
+        "--out",
+        default="results",
+        help="artifact directory (default: results/)",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            driver = EXPERIMENTS[experiment_id]
+            summary = (driver.__doc__ or "").strip().splitlines()[0]
+            print(f"{experiment_id:12s} {summary}")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for experiment_id in ids:
+        if experiment_id not in EXPERIMENTS:
+            print(
+                f"unknown experiment {experiment_id!r}; try "
+                f"'python -m repro list'",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_experiment(
+            experiment_id, quick=args.quick, artifact_dir=args.out
+        )
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

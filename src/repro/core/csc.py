@@ -1,0 +1,37 @@
+"""Tempus Core's modified convolution sequence controller.
+
+The schedule (kernel group -> output pixel -> window position -> channel
+block) is *identical* to NVDLA's — that is the dataflow-compliance claim.
+Two modifications from the paper:
+
+* **Transposed feature feed**: the PCU consumes the feature atom as a held
+  column against the temporally streaming weights, exploiting
+  ``W x F^T = accum(W ⊙ F)``; behaviourally the atom contents are the same,
+  so this class only marks the orientation and holds each atom stable for
+  the full burst (enforced naturally by channel back-pressure).
+* **Weight pre-staging**: the per-lane 2s-unary encoders are loaded from
+  the weight atom when the burst starts, so the CSC exposes the burst
+  length to its stall logic.
+"""
+
+from __future__ import annotations
+
+from repro.nvdla.csc import AtomJob, SequenceController
+from repro.unary.encoding import TwosUnaryCode, UnaryCode
+
+
+class TempusSequenceController(SequenceController):
+    """CSC variant feeding the PCU."""
+
+    #: Feature atoms are presented transposed (held column vs weight rows).
+    transposed_feed = True
+
+    def __init__(self, *args, code: UnaryCode | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.code = code if code is not None else TwosUnaryCode()
+
+    def burst_cycles_for(self, job: AtomJob) -> int:
+        """Burst length the PCU will need for a job — the largest weight
+        magnitude in the k x n block, halved by 2s-unary coding (min 1)."""
+        max_magnitude = int(abs(job.weight_block).max())
+        return max(1, self.code.cycles_for_magnitude(max_magnitude))

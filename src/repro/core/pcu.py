@@ -1,0 +1,130 @@
+"""PE Cell Unit (PCU) — Tempus Core's CMAC replacement.
+
+Holds k tub PE cells in lockstep.  One :class:`AtomJob` becomes one burst
+of ``max(1, ceil(max|w| / 2))`` cycles over the whole k x n tile (the paper:
+"the cycle count equals the largest weight magnitude in the k x n array"),
+plus an optional cache-in/out overhead at PCU level.  Partial sums are
+latched into output registers and only forwarded to the CACC once every
+cell has finished — the extra handshaking Tempus Core adds to stay dataflow
+compatible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pe_cell import TubPeCell
+from repro.nvdla.cmac import PsumPacket
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.csc import AtomJob
+from repro.sim.handshake import ValidReadyChannel
+from repro.sim.kernel import Module
+from repro.unary.encoding import TwosUnaryCode, UnaryCode
+
+
+class PcuUnit(Module):
+    """Cycle model of the PCU."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        in_channel: ValidReadyChannel,
+        out_channel: ValidReadyChannel,
+        code: UnaryCode | None = None,
+        name: str = "pcu",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.code = code if code is not None else TwosUnaryCode()
+        self.in_channel = in_channel
+        self.out_channel = out_channel
+        self.cells = [
+            TubPeCell(config.n, self.code) for _ in range(config.k)
+        ]
+        self._job: AtomJob | None = None
+        self._burst_remaining = 0
+        self._overhead_remaining = 0
+        self._silent_this_burst = 0
+        self._pending: PsumPacket | None = None
+        self.bursts = 0
+        self.burst_cycles = 0
+        self.stall_cycles = 0
+        self.silent_lane_cycles = 0
+
+    def reset(self) -> None:
+        self._job = None
+        self._burst_remaining = 0
+        self._overhead_remaining = 0
+        self._silent_this_burst = 0
+        self._pending = None
+        self.bursts = 0
+        self.burst_cycles = 0
+        self.stall_cycles = 0
+        self.silent_lane_cycles = 0
+
+    def _load(self, job: AtomJob) -> None:
+        burst = 0
+        for index, cell in enumerate(self.cells):
+            burst = max(
+                burst, cell.load_atom(job.feature, job.weight_block[index])
+            )
+        # Even an all-zero tile costs one cycle to produce its (zero)
+        # partial sums for the CACC sequence.
+        self._burst_remaining = max(1, burst)
+        self._overhead_remaining = self.config.burst_overhead
+        self._silent_this_burst = int((job.weight_block == 0).sum())
+        self._job = job
+        self.bursts += 1
+
+    def _finish(self) -> None:
+        assert self._job is not None
+        psums = np.fromiter(
+            (cell.partial_sum for cell in self.cells),
+            dtype=np.int64,
+            count=self.config.k,
+        )
+        atom = self._job.atom
+        self._pending = PsumPacket(
+            group=atom.group,
+            out_y=atom.out_y,
+            out_x=atom.out_x,
+            psums=psums,
+            last=self._job.last,
+        )
+        self._job = None
+
+    def tick(self) -> None:
+        # 1) forward a completed burst's partial sums
+        if self._pending is not None:
+            if self.out_channel.ready:
+                self.out_channel.push(self._pending)
+                self._pending = None
+            else:
+                self.stall_cycles += 1
+        # 2) advance the active burst by one cycle
+        if self._job is not None:
+            if self._overhead_remaining > 0:
+                self._overhead_remaining -= 1
+                self.burst_cycles += 1
+            elif self._burst_remaining > 0:
+                self.silent_lane_cycles += self._silent_this_burst
+                for cell in self.cells:
+                    cell.tick()
+                self.burst_cycles += 1
+                self._burst_remaining -= 1
+            if (
+                self._job is not None
+                and self._overhead_remaining == 0
+                and self._burst_remaining == 0
+            ):
+                # Hand the k partial sums to the output registers; if the
+                # previous packet is still waiting on the CACC, hold the
+                # array (back-pressure) until the register frees up.
+                if self._pending is None:
+                    self._finish()
+                else:
+                    self.stall_cycles += 1
+        # 3) accept the next atom once the array is free (the output
+        #    register decouples the next burst from the CACC handoff)
+        if self._job is None and self.in_channel.valid:
+            self._load(self.in_channel.pop())

@@ -1,0 +1,86 @@
+"""Tub PE cell: n tub lanes + shared adder tree + cell accumulator.
+
+Each cycle the cell sums its n lane contributions through the adder tree
+and accumulates the result; after ``ceil(max_i |w_i| / 2)`` cycles the
+accumulator holds the exact n-lane dot product.  Lanes with zero weights
+are *silent* for the whole burst (the sparsity lever of Sec. V-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.core.tub_multiplier import TubMultiplier
+from repro.unary.encoding import TwosUnaryCode, UnaryCode
+
+
+class TubPeCell:
+    """Cycle-accurate tub PE cell (one of the k cells in a PCU)."""
+
+    def __init__(self, n: int, code: UnaryCode | None = None) -> None:
+        if n < 1:
+            raise SimulationError(f"PE cell needs n >= 1 lanes, got {n}")
+        self.n = n
+        self.code = code if code is not None else TwosUnaryCode()
+        self.lanes = [TubMultiplier(self.code) for _ in range(n)]
+        self._accumulator = 0
+        self._burst_cycles = 0
+        self._loaded = False
+
+    def load_atom(self, feature: np.ndarray, weights: np.ndarray) -> int:
+        """Latch one feature atom against this cell's weight atom.
+
+        Returns:
+            the burst length this cell needs (max over lanes).
+        """
+        feature = np.asarray(feature, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if feature.shape != (self.n,) or weights.shape != (self.n,):
+            raise SimulationError(
+                f"atom shapes {feature.shape}/{weights.shape} != ({self.n},)"
+            )
+        self._accumulator = 0
+        self._loaded = True
+        self._burst_cycles = 0
+        for lane, act, weight in zip(self.lanes, feature, weights):
+            self._burst_cycles = max(
+                self._burst_cycles, lane.load(int(act), int(weight))
+            )
+        return self._burst_cycles
+
+    @property
+    def busy(self) -> bool:
+        return any(lane.busy for lane in self.lanes)
+
+    @property
+    def partial_sum(self) -> int:
+        """The accumulated dot product (valid once the burst completes)."""
+        return self._accumulator
+
+    @property
+    def silent_lanes(self) -> int:
+        """Lanes holding a zero weight in the current atom."""
+        if not self._loaded:
+            return 0
+        return sum(1 for lane in self.lanes if lane.is_silent)
+
+    def tick(self) -> int:
+        """One burst cycle: adder tree over lane contributions, then
+        accumulate.  Returns this cycle's tree output."""
+        if not self._loaded:
+            raise SimulationError("PE cell ticked before load_atom()")
+        tree_sum = 0
+        for lane in self.lanes:
+            if lane.busy:
+                tree_sum += lane.tick()
+        self._accumulator += tree_sum
+        return tree_sum
+
+    def run_burst(self) -> tuple[int, int]:
+        """Run the whole burst; returns (partial_sum, cycles)."""
+        cycles = 0
+        while self.busy:
+            self.tick()
+            cycles += 1
+        return self._accumulator, cycles

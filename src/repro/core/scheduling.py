@@ -1,0 +1,158 @@
+"""Burst-aware tile scheduling (the paper's "custom dataflows and compiler
+optimizations" future work, Sec. VI).
+
+A Tempus burst lasts as long as the largest weight magnitude in its k x n
+tile, so one outlier weight stalls 255 other lanes.  Because the CSC is
+free to walk channels and kernels in any fixed order (a data-layout
+decision, not a hardware change), permuting channels/kernels so that
+large-magnitude weights share tiles provably reduces total burst cycles:
+
+For a fixed block size b, partitioning values into blocks to minimise the
+sum of block maxima is solved by sorting — blocks of consecutive sorted
+values make each block's maximum as small as the order statistics allow.
+We apply that independently to the channel axis (blocks of n) and the
+kernel axis (groups of k), using each channel's / kernel's own maximum
+magnitude as the sort key.
+
+The permutation is semantics-preserving: activations are reordered with
+the same channel permutation and outputs carry the kernel permutation,
+which the accumulator unwinds for free (it is just an address mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.latency import burst_cycle_map
+from repro.errors import DataflowError
+from repro.nvdla.config import CoreConfig
+from repro.unary.encoding import TwosUnaryCode, UnaryCode
+
+
+@dataclass(frozen=True)
+class TileSchedule:
+    """An optimized weight-tile layout.
+
+    Attributes:
+        kernel_order: permutation applied to the kernel axis.
+        channel_order: permutation applied to the channel axis.
+        baseline_cycles: per-pixel burst cycles before optimization.
+        optimized_cycles: per-pixel burst cycles after optimization.
+    """
+
+    kernel_order: np.ndarray
+    channel_order: np.ndarray
+    baseline_cycles: int
+    optimized_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / max(self.optimized_cycles, 1)
+
+    @property
+    def cycles_saved(self) -> int:
+        return self.baseline_cycles - self.optimized_cycles
+
+
+def apply_schedule(
+    weights: np.ndarray, schedule: TileSchedule
+) -> np.ndarray:
+    """Reorder a (K, C, R, S) weight tensor per the schedule."""
+    weights = np.asarray(weights)
+    return weights[schedule.kernel_order][:, schedule.channel_order]
+
+
+def apply_to_activations(
+    activations: np.ndarray, schedule: TileSchedule
+) -> np.ndarray:
+    """Reorder a (C, H, W) activation tensor to match the schedule."""
+    return np.asarray(activations)[schedule.channel_order]
+
+
+def restore_outputs(
+    outputs: np.ndarray, schedule: TileSchedule
+) -> np.ndarray:
+    """Undo the kernel permutation on a (K, OH, OW) output tensor."""
+    inverse = np.argsort(schedule.kernel_order)
+    return np.asarray(outputs)[inverse]
+
+
+def optimize_tile_schedule(
+    weights: np.ndarray,
+    config: CoreConfig,
+    code: UnaryCode | None = None,
+) -> TileSchedule:
+    """Find kernel/channel permutations minimising total burst cycles.
+
+    Args:
+        weights: (K, C, R, S) integer weights (one convolution / group).
+        config: array geometry (tile size k x n).
+        code: unary code (default 2s-unary).
+
+    Returns:
+        the schedule with before/after per-pixel cycle counts.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise DataflowError("expected (K, C, R, S) weights")
+    code = code if code is not None else TwosUnaryCode()
+
+    magnitudes = np.abs(weights.astype(np.int64))
+    # Sort keys: the largest magnitude each kernel / channel ever streams.
+    kernel_key = magnitudes.max(axis=(1, 2, 3))
+    channel_key = magnitudes.max(axis=(0, 2, 3))
+    kernel_order = np.argsort(kernel_key, kind="stable")[::-1]
+    channel_order = np.argsort(channel_key, kind="stable")[::-1]
+
+    baseline = int(burst_cycle_map(weights, config, code).sum())
+    permuted = weights[kernel_order][:, channel_order]
+    optimized = int(burst_cycle_map(permuted, config, code).sum())
+
+    if optimized >= baseline:
+        # Sorting never helps degenerate tensors (single tile); keep the
+        # identity layout so the schedule is a no-op.
+        return TileSchedule(
+            kernel_order=np.arange(weights.shape[0]),
+            channel_order=np.arange(weights.shape[1]),
+            baseline_cycles=baseline,
+            optimized_cycles=baseline,
+        )
+    return TileSchedule(
+        kernel_order=kernel_order,
+        channel_order=channel_order,
+        baseline_cycles=baseline,
+        optimized_cycles=optimized,
+    )
+
+
+def model_schedule_savings(
+    model, config: CoreConfig, code: UnaryCode | None = None
+) -> list[tuple[str, int, int, float]]:
+    """Per-layer scheduling gains for a quantized model.
+
+    Returns:
+        (layer name, baseline cycles, optimized cycles, speedup) rows,
+        with cycles weighted by the layer's output pixels.
+    """
+    from repro.profiling.tiling import iter_group_tensors
+
+    rows = []
+    for layer, codes in model.iter_weight_tensors():
+        pixels = layer.conv_shape().output_pixels
+        baseline = 0
+        optimized = 0
+        for group_tensor in iter_group_tensors(codes, layer.groups):
+            schedule = optimize_tile_schedule(group_tensor, config, code)
+            baseline += schedule.baseline_cycles * pixels
+            optimized += schedule.optimized_cycles * pixels
+        rows.append(
+            (
+                layer.name,
+                baseline,
+                optimized,
+                baseline / max(optimized, 1),
+            )
+        )
+    return rows

@@ -1,0 +1,153 @@
+"""Tempus Core: the drop-in tub convolution engine.
+
+Same public API as :class:`repro.nvdla.conv_core.ConvolutionCore` — same
+inputs, bit-identical outputs, different latency/energy profile.  The
+``fast`` mode computes the exact output with NumPy and the cycle count with
+the analytic burst model; the ``cycle`` mode runs the full handshaked
+CSC -> PCU -> CACC simulation (tests assert both agree exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.csc import TempusSequenceController
+from repro.core.latency import layer_burst_cycles
+from repro.core.pcu import PcuUnit
+from repro.errors import DataflowError
+from repro.nvdla.cacc import CaccUnit
+from repro.nvdla.cbuf import ConvBuffer
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.conv_core import ConvResult
+from repro.nvdla.dataflow import ConvShape, golden_conv2d, validate_layer
+from repro.sim.handshake import ValidReadyChannel
+from repro.sim.kernel import CycleSimulator
+from repro.unary.encoding import TwosUnaryCode, UnaryCode
+
+
+class TempusCore:
+    """The temporal-unary-binary convolution engine."""
+
+    def __init__(
+        self,
+        config: CoreConfig | None = None,
+        mode: str = "fast",
+        code: UnaryCode | None = None,
+        cbuf: ConvBuffer | None = None,
+    ) -> None:
+        """Args:
+        config: array geometry/precision (defaults to 16x16 INT8).
+        mode: "fast" or "cycle" (see module docstring).
+        code: unary code for weight streams (default 2s-unary).
+        cbuf: optional pre-built convolution buffer.
+        """
+        if mode not in ("fast", "cycle"):
+            raise DataflowError(f"unknown mode {mode!r}")
+        self.config = config if config is not None else CoreConfig()
+        self.mode = mode
+        self.code = code if code is not None else TwosUnaryCode()
+        self.cbuf = cbuf if cbuf is not None else ConvBuffer()
+
+    def _shape_for(
+        self,
+        activations: np.ndarray,
+        weights: np.ndarray,
+        stride: int,
+        padding: int,
+    ) -> ConvShape:
+        channels, height, width = activations.shape
+        kernels, _, kernel_h, kernel_w = weights.shape
+        return ConvShape(
+            in_channels=channels,
+            in_height=height,
+            in_width=width,
+            out_channels=kernels,
+            kernel_h=kernel_h,
+            kernel_w=kernel_w,
+            stride=stride,
+            padding=padding,
+        )
+
+    def schedule_atoms(self, shape: ConvShape) -> int:
+        return (
+            shape.kernel_groups(self.config.k)
+            * shape.output_pixels
+            * shape.atoms_per_pixel(self.config.n)
+        )
+
+    def analytic_cycles(self, shape: ConvShape, weights: np.ndarray) -> int:
+        """Tempus latency: sum of per-atom burst lengths plus pipeline
+        fill/drain (one issue cycle + one output-register stage)."""
+        bursts = layer_burst_cycles(shape, weights, self.config, self.code)
+        return bursts + self.config.pipeline_latency + 1
+
+    def run_layer(
+        self,
+        activations: np.ndarray,
+        weights: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> ConvResult:
+        """Run one convolution layer (same contract as the binary core)."""
+        activations = np.asarray(activations)
+        weights = np.asarray(weights)
+        if activations.ndim != 3 or weights.ndim != 4:
+            raise DataflowError(
+                "expected (C,H,W) activations and (K,C,R,S) weights"
+            )
+        shape = self._shape_for(activations, weights, stride, padding)
+        activations, weights = validate_layer(
+            shape, activations, weights, self.config.precision
+        )
+        if self.mode == "fast":
+            return self._run_fast(shape, activations, weights)
+        return self._run_cycle(shape, activations, weights)
+
+    def _run_fast(
+        self,
+        shape: ConvShape,
+        activations: np.ndarray,
+        weights: np.ndarray,
+    ) -> ConvResult:
+        output = golden_conv2d(
+            activations, weights, shape.stride, shape.padding
+        )
+        return ConvResult(
+            output=output,
+            cycles=self.analytic_cycles(shape, weights),
+            atoms=self.schedule_atoms(shape),
+            macs=shape.macs,
+        )
+
+    def _run_cycle(
+        self,
+        shape: ConvShape,
+        activations: np.ndarray,
+        weights: np.ndarray,
+    ) -> ConvResult:
+        self.cbuf.load_layer(
+            shape, activations, weights, self.config.precision
+        )
+        csc_to_pcu: ValidReadyChannel = ValidReadyChannel("csc->pcu")
+        pcu_to_acc: ValidReadyChannel = ValidReadyChannel("pcu->cacc")
+        csc = TempusSequenceController(
+            self.config, shape, self.cbuf, csc_to_pcu, code=self.code
+        )
+        pcu = PcuUnit(self.config, csc_to_pcu, pcu_to_acc, code=self.code)
+        cacc = CaccUnit(self.config, shape, pcu_to_acc)
+        sim = CycleSimulator([csc, pcu, cacc])
+        sim.reset()
+        worst = self.config.precision.worst_case_tub_cycles
+        atoms = self.schedule_atoms(shape)
+        budget = atoms * (worst + self.config.burst_overhead + 2) + 64
+        sim.run_until(
+            lambda: cacc.finished and not pcu_to_acc.valid,
+            max_cycles=budget,
+        )
+        return ConvResult(
+            output=cacc.output,
+            cycles=sim.cycle,
+            atoms=atoms,
+            macs=shape.macs,
+            gated_cell_cycles=pcu.silent_lane_cycles,
+        )

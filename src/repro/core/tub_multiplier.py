@@ -1,0 +1,140 @@
+"""The tub (temporal-unary-binary) multiplier.
+
+One lane multiplies a *binary* activation by a *temporally encoded* weight:
+for every pulse of the weight stream the binary operand (shifted left for a
+value-2 pulse) is added to the running sum — Fig. 2 of the paper.  The lane
+is exact: after ``ceil(|w| / 2)`` cycles the accumulator holds ``a * w``.
+
+Hardware content per lane (see :mod:`repro.core.hwmodel`): the weight
+register doubling as a down-counter, pulse-select logic, an operand gate
+(select 0 / a / a<<1) and sign conditioning — no array multiplier, which is
+the area/power story of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.trace import TraceRecorder
+from repro.unary.encoder import TemporalEncoder
+from repro.unary.encoding import TwosUnaryCode, UnaryCode
+from repro.utils.intrange import IntSpec
+
+
+class TubMultiplier:
+    """Cycle-accurate single-lane tub multiplier."""
+
+    def __init__(self, code: UnaryCode | None = None) -> None:
+        self.code = code if code is not None else TwosUnaryCode()
+        self._encoder = TemporalEncoder(self.code)
+        self._activation = 0
+        self._accumulator = 0
+        self._loaded = False
+        #: signed pulse emitted on the most recent tick (trace aid).
+        self.last_pulse = 0
+
+    def load(self, activation: int, weight: int) -> int:
+        """Latch the operand pair; returns the burst length in cycles."""
+        self._activation = int(activation)
+        self._encoder.load(int(weight))
+        self._accumulator = 0
+        self._loaded = True
+        return self.code.cycles_for(weight)
+
+    @property
+    def busy(self) -> bool:
+        return self._encoder.busy
+
+    @property
+    def is_silent(self) -> bool:
+        """A zero weight never pulses; the lane stays inactive for the whole
+        burst (the paper's sparsity exploitation)."""
+        return self._loaded and not self._encoder.busy
+
+    @property
+    def product(self) -> int:
+        return self._accumulator
+
+    def tick(self) -> int:
+        """Advance one cycle; returns this cycle's contribution
+        (pulse x activation)."""
+        if not self._loaded:
+            raise SimulationError("tub multiplier ticked before load()")
+        pulse = self._encoder.tick()
+        self.last_pulse = pulse
+        contribution = pulse * self._activation
+        self._accumulator += contribution
+        return contribution
+
+    def run_to_completion(self) -> int:
+        """Drain the stream; returns the exact product."""
+        while self.busy:
+            self.tick()
+        return self._accumulator
+
+
+@dataclass(frozen=True)
+class TubTrace:
+    """A full cycle-by-cycle record of one tub multiplication (Fig. 2)."""
+
+    activation: int
+    weight: int
+    product: int
+    cycles: int
+    trace: TraceRecorder
+
+    def render(self) -> str:
+        return self.trace.render(
+            title=(
+                f"tub multiply: a={self.activation}, w={self.weight} -> "
+                f"{self.product} in {self.cycles} cycle(s)"
+            )
+        )
+
+
+def tub_multiply(
+    activation: int,
+    weight: int,
+    code: UnaryCode | None = None,
+    spec: IntSpec | None = None,
+) -> TubTrace:
+    """Run one tub multiplication and capture its dataflow trace.
+
+    Args:
+        activation: binary operand.
+        weight: temporally encoded operand.
+        code: unary code (defaults to 2s-unary).
+        spec: optional precision to range-check the operands against.
+    """
+    if spec is not None:
+        spec.check(activation)
+        spec.check(weight)
+    lane = TubMultiplier(code)
+    cycles = lane.load(activation, weight)
+    trace = TraceRecorder()
+    cycle = 0
+    while lane.busy:
+        contribution = lane.tick()
+        trace.sample_many(
+            cycle,
+            {
+                "pulse": lane.last_pulse,
+                "contribution": contribution,
+                "accumulator": lane.product,
+                "remaining": lane._encoder.remaining_cycles,  # noqa: SLF001
+            },
+        )
+        cycle += 1
+    if cycle == 0:
+        trace.sample_many(
+            0, {"pulse": 0, "contribution": 0, "accumulator": 0,
+                "remaining": 0}
+        )
+    return TubTrace(
+        activation=int(activation),
+        weight=int(weight),
+        product=lane.product,
+        cycles=cycles,
+        trace=trace,
+    )

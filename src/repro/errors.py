@@ -1,0 +1,32 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class PrecisionError(ReproError):
+    """A value does not fit in, or a spec does not describe, a supported
+    integer precision."""
+
+
+class EncodingError(ReproError):
+    """A temporal-unary bitstream is malformed or cannot represent a value."""
+
+
+class DataflowError(ReproError):
+    """A tensor shape or schedule is incompatible with the hardware
+    configuration it is mapped onto."""
+
+
+class SimulationError(ReproError):
+    """A cycle-level simulation reached an inconsistent state (e.g. handshake
+    protocol violation, result read before done)."""
+
+
+class SynthesisError(ReproError):
+    """The hardware model could not elaborate or estimate a design."""
+
+
+class CalibrationError(ReproError):
+    """Quantization calibration failed (e.g. empty tensor, bad percentile)."""

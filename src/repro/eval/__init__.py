@@ -1,0 +1,19 @@
+"""Evaluation harness: the paper's reported numbers, comparison reports,
+iso-area throughput math, and one runnable driver per table/figure."""
+
+from repro.eval.experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from repro.eval.report import Comparison, comparison_table
+from repro.eval.throughput import (
+    iso_area_improvement,
+    project_improvement,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "Comparison",
+    "comparison_table",
+    "iso_area_improvement",
+    "project_improvement",
+]

@@ -1,0 +1,129 @@
+"""The paper's reported numbers, transcribed as data.
+
+Every benchmark prints its measured values next to these so the
+paper-vs-reproduction comparison is mechanical.  Units follow the paper's
+tables; note Table II prints "µm²" but the magnitudes are mm² (a 16-lane
+INT8 MAC cell cannot occupy 0.0056 µm² in 45nm) — we treat those columns
+as mm², as Fig. 4/9 cross-checks confirm.
+"""
+
+from __future__ import annotations
+
+#: Table I — word sparsity (% zero weights) of INT8-quantized CNNs.
+TABLE1_WORD_SPARSITY = {
+    "MobileNetV2": 2.25,
+    "MobileNetV3": 9.52,
+    "GoogleNet": 1.91,
+    "InceptionV3": 1.99,
+    "ShuffleNetV3": 1.43,
+    "ResNet18": 2.043,
+    "ResNet50": 2.45,
+    "ResNeXt101": 2.64,
+}
+
+#: Table II — post-synthesis single PE cell (k=1), NanGate45 @ 250 MHz.
+#: {(precision, n): (binary, tub, improvement %)}; areas in mm²
+#: (see module docstring), powers in mW.
+TABLE2_CELL_AREA_MM2 = {
+    ("INT4", 16): (0.0022, 0.0006, 71.89),
+    ("INT4", 256): (0.0371, 0.0046, 87.53),
+    ("INT4", 1024): (0.1462, 0.0171, 88.30),
+    ("INT8", 16): (0.0056, 0.0011, 80.15),
+    ("INT8", 256): (0.1063, 0.0093, 91.24),
+    ("INT8", 1024): (0.4334, 0.0355, 91.81),
+}
+TABLE2_CELL_POWER_MW = {
+    ("INT4", 16): (0.09, 0.06, 25.86),
+    ("INT4", 256): (1.03, 0.19, 81.74),
+    ("INT4", 1024): (3.98, 0.51, 87.25),
+    ("INT8", 16): (0.20, 0.088, 54.72),
+    ("INT8", 256): (3.00, 0.32, 89.35),
+    ("INT8", 1024): (12.20, 1.06, 91.28),
+}
+
+#: Fig. 4 — 16x16 arrays.  Binary INT8: 0.09 mm² / 3.8 mW; tub: 0.018 mm² /
+#: 1.42 mW.  INT4 powers are back-derived from the Sec. V-C energies
+#: (7.48 pJ / 4 ns and 17.76 pJ / (4 cyc x 4 ns)).
+FIG4_ARRAY_16X16 = {
+    "INT8": {
+        "binary_area_mm2": 0.09,
+        "tub_area_mm2": 0.018,
+        "binary_power_mw": 3.8,
+        "tub_power_mw": 1.42,
+        "area_reduction_pct": 75.0,
+        "power_reduction_pct": 62.0,
+    },
+    "INT4": {
+        "binary_area_mm2": None,
+        "tub_area_mm2": None,
+        "binary_power_mw": 1.87,
+        "tub_power_mw": 1.11,
+        "area_reduction_pct": 80.0,
+        "power_reduction_pct": 41.0,
+    },
+}
+
+#: Fig. 5 — entire CMAC unit vs PCU (16 x n), INT8 headline improvements.
+FIG5_UNIT_IMPROVEMENT = {
+    "area_reduction_pct": 59.3,
+    "power_reduction_pct": 15.3,
+}
+
+#: Table III — post-P&R, 16x4 INT4, 70% utilization.
+TABLE3_PNR = {
+    "CMAC": {"area_mm2": 0.0361, "power_mw": 10.7013},
+    "Tempus": {"area_mm2": 0.0168, "power_mw": 6.1146},
+    "area_reduction_pct": 53.0,
+    "power_reduction_pct": 44.0,
+}
+
+#: Abstract headline for the P&R'd PCU (INT4 16x4).
+PNR_HEADLINE = {"area_mm2": 0.017, "power_mw": 6.2}
+
+#: Sec. V-C — workload-dependent latency and energy (16x16 array).
+SECVC_WORKLOAD = {
+    "MobileNetV2": {
+        "mean_burst_cycles": 33,
+        "tub_energy_pj": 187.0,
+        "mean_silent_pes": 6.0,
+    },
+    "ResNeXt101": {
+        "mean_burst_cycles": 31,
+        "tub_energy_pj": 176.0,
+        "mean_silent_pes": 2.0,
+    },
+}
+SECVC_INT8 = {
+    "worst_case_cycles": 64,
+    "binary_energy_pj": 15.0,
+    "energy_gap": 11.7,
+}
+SECVC_INT4 = {
+    "worst_case_cycles": 4,
+    "binary_energy_pj": 7.48,
+    "tub_energy_pj": 17.76,
+    "energy_gap": 2.3,
+}
+
+#: Sec. V-D — iso-area throughput for 16x16 arrays.
+SECVD_ISO_AREA = {"INT8": 5.0, "INT4": 4.0}
+
+#: Fig. 9 — single-cell iso-area throughput projected to n = 65536.
+FIG9_PROJECTION = {"INT8": 26.0, "INT4": 18.0}
+
+#: Fig. 1 — quantized training accuracy vs FP32 (source: Jain et al.,
+#: "Trained Quantization Thresholds", MLSys 2020).  Approximate Top-1
+#: accuracies (%) transcribed from that work for reference; the figure's
+#: takeaway is the small FP32 -> INT4 drop.
+FIG1_REFERENCE_ACCURACY = {
+    "MobileNetV2": {"FP32": 71.9, "INT8": 71.8, "INT4": 67.8},
+    "ResNet50": {"FP32": 76.9, "INT8": 76.5, "INT4": 74.2},
+    "InceptionV3": {"FP32": 78.0, "INT8": 78.2, "INT4": 75.5},
+    "VGG16": {"FP32": 71.6, "INT8": 71.5, "INT4": 70.2},
+}
+
+#: Fixed operating point used throughout the paper's evaluation.
+CLOCK_MHZ = 250.0
+CLOCK_PERIOD_NS = 4.0
+TECHNOLOGY = "NanGate45 (45nm CMOS)"
+PNR_UTILIZATION = 0.70

@@ -1,0 +1,61 @@
+"""Paper-vs-measured comparison rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One metric compared against the paper.
+
+    Attributes:
+        metric: human-readable metric name.
+        paper: the paper's reported value (None if not reported).
+        measured: our reproduction's value.
+        unit: unit label.
+    """
+
+    metric: str
+    paper: float | None
+    measured: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float | None:
+        """measured / paper (None when the paper gives no number)."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return self.measured / self.paper
+
+    def within_factor(self, factor: float) -> bool:
+        """True when measured is within [paper/factor, paper*factor]."""
+        ratio = self.ratio
+        if ratio is None:
+            return True
+        return 1.0 / factor <= ratio <= factor
+
+
+def comparison_table(
+    comparisons: list[Comparison], title: str | None = None
+) -> str:
+    """Render a paper-vs-measured table with a ratio column."""
+    rows = []
+    for comparison in comparisons:
+        ratio = comparison.ratio
+        rows.append(
+            (
+                comparison.metric,
+                "-" if comparison.paper is None else comparison.paper,
+                comparison.measured,
+                comparison.unit,
+                "-" if ratio is None else f"{ratio:.2f}x",
+            )
+        )
+    return format_table(
+        ["metric", "paper", "measured", "unit", "measured/paper"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,65 @@
+"""Iso-area throughput analysis (the paper's Sec. V-D and Fig. 9).
+
+The paper's metric: at equal silicon area, how many more tub PE cells fit
+than binary cells?  Since both arrays generate k partial sums per "issue"
+(one cycle binary, m cycles tub — with the same m assumed for all tub
+copies), the iso-area *throughput* improvement equals the area ratio
+``binary_area / tub_area``.  Fig. 9 extends this by fitting the area-ratio
+trend over n and projecting to n = 65536.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SynthesisError
+
+
+def iso_area_improvement(binary_area: float, tub_area: float) -> float:
+    """Throughput improvement at iso-area (the paper's definition)."""
+    if binary_area <= 0 or tub_area <= 0:
+        raise SynthesisError("areas must be positive")
+    return binary_area / tub_area
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Log-log linear fit of the improvement trend over n.
+
+    improvement(n) ~= exp(intercept) * n^exponent
+    """
+
+    exponent: float
+    intercept: float
+
+    def predict(self, n: int) -> float:
+        return float(np.exp(self.intercept) * n**self.exponent)
+
+
+def fit_improvement_scaling(
+    n_values: "list[int] | np.ndarray",
+    improvements: "list[float] | np.ndarray",
+) -> ScalingFit:
+    """Fit ``log(improvement) = intercept + exponent * log(n)``."""
+    n_values = np.asarray(n_values, dtype=np.float64)
+    improvements = np.asarray(improvements, dtype=np.float64)
+    if n_values.size < 2:
+        raise SynthesisError("need at least two points to fit scaling")
+    if np.any(n_values <= 0) or np.any(improvements <= 0):
+        raise SynthesisError("scaling fit needs positive values")
+    exponent, intercept = np.polyfit(
+        np.log(n_values), np.log(improvements), 1
+    )
+    return ScalingFit(exponent=float(exponent), intercept=float(intercept))
+
+
+def project_improvement(
+    n_values: "list[int]",
+    improvements: "list[float]",
+    target_n: int,
+) -> float:
+    """Fig. 9's red-dotted-line projection: extrapolate the fitted trend
+    to a large n (the paper projects n = 65536)."""
+    return fit_improvement_scaling(n_values, improvements).predict(target_n)

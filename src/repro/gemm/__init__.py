@@ -1,0 +1,23 @@
+"""Unary GEMM baselines from the prior work the paper builds on.
+
+Three engines with one interface (:class:`~repro.gemm.base.GemmEngine`):
+
+* :class:`~repro.gemm.binary_gemm.BinaryGemm` — conventional
+  output-stationary binary MAC array (one common-dimension step per cycle).
+* :class:`~repro.gemm.tugemm.TuGemm` — tuGEMM (ISCAS'23): both operands
+  pure-unary temporal streams; worst-case latency per step is the *product*
+  of the operand magnitudes.
+* :class:`~repro.gemm.tubgemm.TubGemm` — tubGEMM (ISVLSI'23): binary
+  activations x 2s-unary temporal weights in an outer-product dataflow;
+  Tempus Core lifts exactly this multiplier into an inner-product
+  convolution dataflow.
+
+All three produce exact integer results; they differ in latency/energy.
+"""
+
+from repro.gemm.base import GemmEngine, GemmResult
+from repro.gemm.binary_gemm import BinaryGemm
+from repro.gemm.tugemm import TuGemm
+from repro.gemm.tubgemm import TubGemm
+
+__all__ = ["GemmEngine", "GemmResult", "BinaryGemm", "TuGemm", "TubGemm"]

@@ -1,0 +1,77 @@
+"""Common GEMM engine interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataflowError
+from repro.utils.intrange import INT8, IntSpec, int_spec
+
+
+@dataclass(frozen=True)
+class GemmResult:
+    """Result of one GEMM execution.
+
+    Attributes:
+        output: (M, P) exact integer product.
+        cycles: engine latency in clock cycles.
+        macs: useful multiply-accumulates (M * N * P).
+        pe_count: processing elements the engine provisioned.
+    """
+
+    output: np.ndarray
+    cycles: int
+    macs: int
+    pe_count: int
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / max(self.cycles, 1)
+
+
+class GemmEngine(ABC):
+    """A matrix-multiply engine: O = A x B on an output-stationary PE
+    grid."""
+
+    def __init__(self, precision: "int | str | IntSpec" = INT8) -> None:
+        self.precision = int_spec(precision)
+
+    def _validate(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise DataflowError("GEMM operands must be 2-D")
+        if a.shape[1] != b.shape[0]:
+            raise DataflowError(
+                f"inner dimensions disagree: {a.shape} x {b.shape}"
+            )
+        return (
+            self.precision.check_array(a),
+            self.precision.check_array(b),
+        )
+
+    @abstractmethod
+    def cycles_for(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Latency of multiplying validated operands."""
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> GemmResult:
+        """Compute O = A x B exactly, with the engine's latency model."""
+        a, b = self._validate(a, b)
+        m, n = a.shape
+        _, p = b.shape
+        return GemmResult(
+            output=a @ b,
+            cycles=self.cycles_for(a, b),
+            macs=m * n * p,
+            pe_count=m * p,
+        )
+
+    @abstractmethod
+    def worst_case_cycles(self, n: int) -> int:
+        """Worst-case latency over the common dimension ``n`` at this
+        engine's precision."""

@@ -1,0 +1,24 @@
+"""Conventional binary GEMM baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gemm.base import GemmEngine
+
+
+class BinaryGemm(GemmEngine):
+    """Output-stationary binary MAC grid.
+
+    An (M x P) grid of binary multipliers consumes one common-dimension
+    step per cycle: latency is N cycles plus one pipeline stage, independent
+    of the data.
+    """
+
+    pipeline_latency = 1
+
+    def cycles_for(self, a: np.ndarray, b: np.ndarray) -> int:
+        return a.shape[1] + self.pipeline_latency
+
+    def worst_case_cycles(self, n: int) -> int:
+        return n + self.pipeline_latency

@@ -1,0 +1,40 @@
+"""tubGEMM: binary activations x 2s-unary temporal weights, outer-product.
+
+The direct ancestor of Tempus Core's PE array (Sec. II-B): activations stay
+binary, each weight streams as 2s-unary pulses, one outer-product step costs
+``ceil(max|b| / 2)`` cycles.  Worst case over N steps is ``N * 2^(w-2)`` —
+the same per-burst bound Tempus Core inherits, but in a GEMM dataflow that
+does not map onto DLA convolution pipelines (the gap Tempus Core closes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gemm.base import GemmEngine
+from repro.unary.encoding import TwosUnaryCode
+
+
+class TubGemm(GemmEngine):
+    """Temporal-unary-binary GEMM (ISVLSI'23 baseline)."""
+
+    def __init__(self, precision="INT8") -> None:
+        super().__init__(precision)
+        self.code = TwosUnaryCode()
+
+    def step_cycles(self, b_row: np.ndarray) -> int:
+        """One outer-product step: the largest streamed weight bounds the
+        lockstep array."""
+        max_b = int(np.abs(b_row).max(initial=0))
+        return self.code.cycles_for_magnitude(max_b)
+
+    def cycles_for(self, a: np.ndarray, b: np.ndarray) -> int:
+        total = 0
+        for j in range(a.shape[1]):
+            total += max(1, self.step_cycles(b[j, :]))
+        return total
+
+    def worst_case_cycles(self, n: int) -> int:
+        return n * self.code.cycles_for_magnitude(
+            self.precision.max_magnitude
+        )

@@ -1,0 +1,39 @@
+"""tuGEMM: fully temporal (pure unary x pure unary) GEMM.
+
+Both operands stream as pure-unary pulse trains.  A product is formed by
+replaying the full B-pulse train once per A pulse, so one outer-product
+step costs ``max|a| * max|b|`` cycles across the lockstep array, and the
+worst case over N steps is ``N * 2^(2w-2)`` — the quadratic latency that
+motivated tubGEMM's hybrid encoding (Sec. II-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gemm.base import GemmEngine
+from repro.unary.encoding import PureUnaryCode
+
+
+class TuGemm(GemmEngine):
+    """Pure temporal-unary GEMM (ISCAS'23 baseline)."""
+
+    def __init__(self, precision="INT8") -> None:
+        super().__init__(precision)
+        self.code = PureUnaryCode()
+
+    def step_cycles(self, a_column: np.ndarray, b_row: np.ndarray) -> int:
+        """Latency of one outer-product step: the slowest lane pair."""
+        max_a = int(np.abs(a_column).max(initial=0))
+        max_b = int(np.abs(b_row).max(initial=0))
+        return max_a * max_b
+
+    def cycles_for(self, a: np.ndarray, b: np.ndarray) -> int:
+        total = 0
+        for j in range(a.shape[1]):
+            total += max(1, self.step_cycles(a[:, j], b[j, :]))
+        return total
+
+    def worst_case_cycles(self, n: int) -> int:
+        magnitude = self.precision.max_magnitude
+        return n * magnitude * magnitude

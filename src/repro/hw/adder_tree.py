@@ -1,0 +1,74 @@
+"""Carry-save adder-tree structural model.
+
+Both PE cell designs accumulate their ``n`` lane contributions through an
+adder tree.  Synthesis tools implement this as a carry-save (3:2 compressor)
+tree followed by one carry-propagate adder; reducing ``n`` operands to 2
+takes exactly ``n - 2`` compressor rows, each as wide as the final sum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SynthesisError
+from repro.hw.library import NANGATE45
+from repro.hw.netlist import Netlist
+
+_FA_DELAY = NANGATE45["FA"].delay_ps
+_HA_DELAY = NANGATE45["HA"].delay_ps
+
+
+def tree_output_width(num_inputs: int, input_width: int) -> int:
+    """Bit width of the exact sum of ``num_inputs`` signed values of
+    ``input_width`` bits."""
+    if num_inputs < 1 or input_width < 1:
+        raise SynthesisError("adder tree needs >=1 input of >=1 bit")
+    return input_width + math.ceil(math.log2(num_inputs)) if num_inputs > 1 \
+        else input_width
+
+
+def csa_stage_count(num_inputs: int) -> int:
+    """Number of 3:2 compression stages to go from ``num_inputs`` rows to 2
+    (Dadda sequence)."""
+    if num_inputs <= 2:
+        return 0
+    stages = 0
+    rows = num_inputs
+    while rows > 2:
+        rows = rows - rows // 3  # each stage turns 3 rows into 2
+        stages += 1
+    return stages
+
+
+def adder_tree(
+    num_inputs: int,
+    input_width: int,
+    name: str = "tree",
+    activity: float | None = None,
+) -> Netlist:
+    """Carry-save tree + final CPA summing ``num_inputs`` signed operands.
+
+    Args:
+        num_inputs: lane count ``n``.
+        input_width: per-lane operand width.
+        activity: toggle rate annotation (binary product trees switch more
+            than tub pulse trees).
+    """
+    width_out = tree_output_width(num_inputs, input_width)
+    block = Netlist(name, activity=activity)
+    if num_inputs == 1:
+        # Degenerate: wire only.
+        block.add("BUF", input_width)
+        block.depth_ps = NANGATE45["BUF"].delay_ps
+        return block
+    csa_rows = max(num_inputs - 2, 0)
+    block.add("FA", csa_rows * width_out)
+    # Final carry-propagate adder.
+    block.add("FA", max(width_out - 1, 1))
+    block.add("HA", 1)
+    block.depth_ps = (
+        csa_stage_count(num_inputs) * _FA_DELAY
+        + _HA_DELAY
+        + max(width_out - 1, 1) * _FA_DELAY
+    )
+    return block

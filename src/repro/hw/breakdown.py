@@ -1,0 +1,159 @@
+"""Per-module area/power breakdown of a hierarchical netlist.
+
+Synthesis reports totals; design analysis (e.g. "how much of the tub
+array's power is lane-local vs shared tree?") needs the split by child
+module.  The silent-PE energy adjustment of :mod:`repro.profiling.energy`
+is justified by exactly this breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.library import NANGATE45, CellLibrary
+from repro.hw.netlist import Netlist
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class ModuleShare:
+    """One child module's share of the design.
+
+    Attributes:
+        name: child module name (x instance count).
+        instances: replication count.
+        area_um2 / dynamic_power_mw / leakage_power_mw: totals over all
+            instances.
+    """
+
+    name: str
+    instances: int
+    area_um2: float
+    dynamic_power_mw: float
+    leakage_power_mw: float
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.dynamic_power_mw + self.leakage_power_mw
+
+
+def _module_power(
+    netlist: Netlist,
+    library: CellLibrary,
+    clock_mhz: float,
+    activity: float,
+    reg_activity: float,
+) -> tuple[float, float]:
+    freq_hz = clock_mhz * 1e6
+    dynamic_w = 0.0
+    leakage_w = 0.0
+    for cell_name, count, act, reg_act in netlist.iter_effective(
+        activity, reg_activity
+    ):
+        cell = library[cell_name]
+        leakage_w += count * cell.leakage_nw * 1e-9
+        if cell.sequential:
+            dynamic_w += count * (
+                cell.clk_energy_fj * 1e-15
+                + cell.energy_fj * 1e-15 * reg_act
+            ) * freq_hz
+        else:
+            dynamic_w += count * cell.energy_fj * 1e-15 * act * freq_hz
+    return dynamic_w * 1e3, leakage_w * 1e3
+
+
+def module_breakdown(
+    netlist: Netlist,
+    library: CellLibrary = NANGATE45,
+    clock_mhz: float = 250.0,
+    default_activity: float = 0.15,
+    default_reg_activity: float = 0.10,
+) -> list[ModuleShare]:
+    """Area/power of every direct child (plus the owner's glue cells).
+
+    The shares sum to the :func:`repro.hw.synthesis.synthesize` totals for
+    the same netlist (tested).
+    """
+    activity = (
+        netlist.activity if netlist.activity is not None
+        else default_activity
+    )
+    reg_activity = (
+        netlist.reg_activity if netlist.reg_activity is not None
+        else default_reg_activity
+    )
+    shares = []
+    for child, count in netlist.children:
+        dynamic, leakage = _module_power(
+            child, library, clock_mhz, activity, reg_activity
+        )
+        shares.append(
+            ModuleShare(
+                name=child.name,
+                instances=count,
+                area_um2=child.area_um2(library) * count,
+                dynamic_power_mw=dynamic * count,
+                leakage_power_mw=leakage * count,
+            )
+        )
+    if netlist.cells:
+        glue = Netlist("(glue)", activity, reg_activity)
+        glue.cells = netlist.cells
+        dynamic, leakage = _module_power(
+            glue, library, clock_mhz, activity, reg_activity
+        )
+        shares.append(
+            ModuleShare(
+                name="(glue)",
+                instances=1,
+                area_um2=glue.area_um2(library),
+                dynamic_power_mw=dynamic,
+                leakage_power_mw=leakage,
+            )
+        )
+    return sorted(shares, key=lambda share: share.area_um2, reverse=True)
+
+
+def render_breakdown(
+    shares: list[ModuleShare], title: str | None = None
+) -> str:
+    """Aligned table of module shares with percentage columns."""
+    total_area = sum(share.area_um2 for share in shares) or 1.0
+    total_power = sum(share.total_power_mw for share in shares) or 1.0
+    rows = [
+        (
+            share.name,
+            share.instances,
+            round(share.area_um2, 1),
+            f"{100 * share.area_um2 / total_area:.1f}%",
+            round(share.total_power_mw, 4),
+            f"{100 * share.total_power_mw / total_power:.1f}%",
+        )
+        for share in shares
+    ]
+    return format_table(
+        ["module", "inst", "area um2", "area %", "power mW", "power %"],
+        rows,
+        title=title,
+    )
+
+
+def lane_power_share(
+    cell_netlist: Netlist,
+    lane_modules: tuple[str, ...] = (
+        "count_regs",
+        "tu_enc",
+        "lane_gate",
+    ),
+    library: CellLibrary = NANGATE45,
+) -> float:
+    """Fraction of a tub PE cell's power attributable to per-lane hardware
+    (the modules that go quiet when a lane is silent)."""
+    shares = module_breakdown(cell_netlist, library)
+    total = sum(share.total_power_mw for share in shares)
+    lane = sum(
+        share.total_power_mw
+        for share in shares
+        if share.name in lane_modules
+    )
+    return lane / total if total > 0 else 0.0

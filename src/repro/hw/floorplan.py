@@ -1,0 +1,70 @@
+"""Floorplanning: die sizing at a target utilization.
+
+The paper's P&R comparison fixes 70% floorplan utilization for both CMAC and
+PCU (Sec. V-B); the die is sized so standard-cell area / die area equals the
+target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A rectangular core area.
+
+    Attributes:
+        die_width_um / die_height_um: core dimensions.
+        target_utilization: requested cell-area / die-area ratio.
+        std_cell_area_um2: the placed standard-cell area.
+    """
+
+    die_width_um: float
+    die_height_um: float
+    target_utilization: float
+    std_cell_area_um2: float
+
+    @property
+    def die_area_um2(self) -> float:
+        return self.die_width_um * self.die_height_um
+
+    @property
+    def die_area_mm2(self) -> float:
+        return self.die_area_um2 * 1e-6
+
+    @property
+    def utilization(self) -> float:
+        return self.std_cell_area_um2 / self.die_area_um2
+
+
+def make_floorplan(
+    std_cell_area_um2: float,
+    utilization: float = 0.70,
+    aspect_ratio: float = 1.0,
+) -> Floorplan:
+    """Size a die for the given cell area.
+
+    Args:
+        std_cell_area_um2: Σ cell footprints from synthesis.
+        utilization: target placement density (the paper uses 0.70).
+        aspect_ratio: width / height of the core.
+    """
+    if std_cell_area_um2 <= 0:
+        raise SynthesisError("cannot floorplan an empty design")
+    if not 0.0 < utilization <= 1.0:
+        raise SynthesisError(f"utilization must be in (0, 1]: {utilization}")
+    if aspect_ratio <= 0:
+        raise SynthesisError(f"aspect ratio must be positive: {aspect_ratio}")
+    die_area = std_cell_area_um2 / utilization
+    height = math.sqrt(die_area / aspect_ratio)
+    width = die_area / height
+    return Floorplan(
+        die_width_um=width,
+        die_height_um=height,
+        target_utilization=utilization,
+        std_cell_area_um2=std_cell_area_um2,
+    )

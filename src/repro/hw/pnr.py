@@ -1,0 +1,98 @@
+"""Place-and-route driver: synthesis -> floorplan -> place -> route.
+
+Stands in for the paper's Cadence Innovus flow (Sec. V-B, Table III,
+Fig. 6): both designs are floorplanned at the same 70% utilization, placed
+at cluster granularity, and reported with wire-aware total power and die
+area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.floorplan import Floorplan, make_floorplan
+from repro.hw.layout import LayoutGrid
+from repro.hw.library import NANGATE45, CellLibrary
+from repro.hw.netlist import Netlist
+from repro.hw.place import Placement, place_clusters
+from repro.hw.route import RoutingEstimate, estimate_routing
+from repro.hw.synthesis import SynthesisResult, synthesize
+
+#: Clock derate applied post-route (wire delay share of the cycle).
+_WIRE_DELAY_DERATE = 1.10
+
+
+@dataclass(frozen=True)
+class PnrResult:
+    """Post-place-and-route report.
+
+    Attributes:
+        synthesis: the pre-route synthesis report.
+        floorplan: die geometry.
+        placement: placed clusters.
+        routing: wirelength / wire power / congestion estimates.
+        layout: occupancy grid for rendering (Fig. 6).
+    """
+
+    synthesis: SynthesisResult
+    floorplan: Floorplan
+    placement: Placement
+    routing: RoutingEstimate
+    layout: LayoutGrid
+
+    @property
+    def design(self) -> str:
+        return self.synthesis.design
+
+    @property
+    def die_area_mm2(self) -> float:
+        """Total area the paper's Table III reports (the floorplanned
+        die)."""
+        return self.floorplan.die_area_mm2
+
+    @property
+    def total_power_mw(self) -> float:
+        """Cell power plus routed-wire power."""
+        return self.synthesis.total_power_mw + self.routing.wire_power_mw
+
+    @property
+    def critical_path_ns(self) -> float:
+        return self.synthesis.critical_path_ns * _WIRE_DELAY_DERATE
+
+    @property
+    def meets_timing(self) -> bool:
+        return self.critical_path_ns <= self.synthesis.clock_period_ns
+
+
+def place_and_route(
+    netlist: Netlist,
+    library: CellLibrary = NANGATE45,
+    clock_mhz: float = 250.0,
+    utilization: float = 0.70,
+    seed: int = 1,
+    grid_resolution: int = 32,
+) -> PnrResult:
+    """Run the full estimation flow on a netlist.
+
+    Args:
+        netlist: design with child instances + connection annotations.
+        library: standard-cell library.
+        clock_mhz: target clock (250 MHz in the paper).
+        utilization: floorplan utilization (0.70 in the paper).
+        seed: placement RNG seed.
+        grid_resolution: layout raster size.
+    """
+    synth = synthesize(netlist, library, clock_mhz)
+    plan = make_floorplan(synth.area_um2, utilization)
+    placement = place_clusters(netlist, library, plan, seed=seed)
+    routing = estimate_routing(
+        placement.wirelength_um(), plan, library, clock_mhz
+    )
+    layout = LayoutGrid.from_placement(placement, resolution=grid_resolution)
+    return PnrResult(
+        synthesis=synth,
+        floorplan=plan,
+        placement=placement,
+        routing=routing,
+        layout=layout,
+    )

@@ -1,0 +1,116 @@
+"""Wallace-tree multiplier structural model.
+
+NVDLA's CMAC elaborates to DesignWare-optimised multipliers with Wallace
+adder trees (paper, Sec. IV).  This generator reproduces that structure
+bottom-up: AND-gate partial-product matrix, Wallace column reduction
+(simulated column-by-column, so FA/HA counts are exact for the classic
+algorithm), and a final ripple carry-propagate adder.  Signed (Baugh-Wooley)
+correction adds a row of inverters and a handful of gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.hw.library import NANGATE45
+from repro.hw.netlist import Netlist
+
+_FA_DELAY = NANGATE45["FA"].delay_ps
+_HA_DELAY = NANGATE45["HA"].delay_ps
+_AND_DELAY = NANGATE45["AND2"].delay_ps
+
+
+@dataclass(frozen=True)
+class WallaceStats:
+    """Cell counts of one Wallace reduction."""
+
+    full_adders: int
+    half_adders: int
+    stages: int
+
+
+def wallace_reduction(column_heights: list[int]) -> WallaceStats:
+    """Simulate Wallace reduction of a partial-product matrix.
+
+    Args:
+        column_heights: number of bits in each weight-2^i column.
+
+    Returns:
+        Exact FA/HA counts and stage count to reach height <= 2.
+    """
+    heights = list(column_heights)
+    if any(h < 0 for h in heights):
+        raise SynthesisError("negative column height")
+    full_adders = 0
+    half_adders = 0
+    stages = 0
+    while max(heights, default=0) > 2:
+        stages += 1
+        carries = [0] * (len(heights) + 1)
+        next_heights = [0] * (len(heights) + 1)
+        for index, height in enumerate(heights):
+            fa = height // 3
+            rest = height % 3
+            ha = 1 if rest == 2 else 0
+            full_adders += fa
+            half_adders += ha
+            next_heights[index] += fa + ha + (rest % 2)
+            carries[index + 1] += fa + ha
+        for index, carry in enumerate(carries):
+            next_heights[index] += carry
+        while next_heights and next_heights[-1] == 0:
+            next_heights.pop()
+        heights = next_heights
+    return WallaceStats(full_adders, half_adders, stages)
+
+
+def multiplier_column_heights(width: int) -> list[int]:
+    """Partial-product column heights of a ``width x width`` multiplier."""
+    if width < 1:
+        raise SynthesisError(f"multiplier width must be >= 1, got {width}")
+    total_columns = 2 * width - 1
+    return [
+        min(col, width - 1, total_columns - 1 - col) + 1
+        for col in range(total_columns)
+    ]
+
+
+def wallace_multiplier(
+    width: int, name: str = "mult", signed: bool = True
+) -> Netlist:
+    """A ``width x width`` Wallace multiplier netlist.
+
+    Args:
+        width: operand width in bits.
+        signed: include Baugh-Wooley sign-correction cells.
+    """
+    if width < 1:
+        raise SynthesisError(f"multiplier width must be >= 1, got {width}")
+    block = Netlist(name, activity=0.25)
+    if width == 1:
+        block.add("AND2", 1)
+        block.depth_ps = _AND_DELAY
+        return block
+
+    # Partial products: one AND per bit pair.
+    block.add("AND2", width * width)
+    stats = wallace_reduction(multiplier_column_heights(width))
+    block.add("FA", stats.full_adders)
+    block.add("HA", stats.half_adders)
+    # Final carry-propagate adder over the two remaining rows.
+    cpa_width = 2 * width - 2
+    block.add("FA", max(cpa_width - 1, 1))
+    block.add("HA", 1)
+    if signed:
+        # Baugh-Wooley: invert the two sign partial-product rows and add the
+        # +1 correction terms.
+        block.add("INV", 2 * width)
+        block.add("HA", 2)
+    block.depth_ps = (
+        _AND_DELAY
+        + stats.stages * _FA_DELAY
+        + _HA_DELAY
+        + max(cpa_width - 1, 1) * _FA_DELAY
+    )
+    return block

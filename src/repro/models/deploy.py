@@ -1,0 +1,195 @@
+"""Deploy the trained NumPy CNN onto the simulated accelerator.
+
+Fig. 1 motivates low-precision deployment; this module closes the loop on
+our substrate: the FP32 :class:`~repro.models.accuracy.SmallCnn` is
+post-training-quantized and *compiled* into integer pipeline stages
+(conv + SDP requant) that run on either convolution core — so classifier
+accuracy can be measured on the actual simulated hardware, not just with
+fake-quant arithmetic.
+
+Mapping notes:
+
+* both 3x3 convs map directly;
+* max pools become PDP stages;
+* the final FC layer over the 3x3x16 feature map is a 3x3 valid
+  convolution with 10 kernels (a standard lowering);
+* per-stage requantization multipliers follow scale algebra:
+  ``psum_scale = in_scale * w_scale`` and the SDP rescales psums into the
+  next stage's activation scale;
+* biases fold into the SDP bias port as ``round(bias / psum_scale)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.accuracy import Dataset, SmallCnn
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.pdp import PdpConfig
+from repro.nvdla.pipeline import ConvStage, InferencePipeline, PoolStage
+from repro.nvdla.sdp import SdpConfig, requant_params_from_scale
+from repro.quant.calibration import calibrate_percentile
+from repro.quant.quantize import SymmetricQuantizer
+from repro.utils.intrange import IntSpec, int_spec
+
+
+@dataclass(frozen=True)
+class CompiledCnn:
+    """An integer network ready for the accelerator.
+
+    Attributes:
+        stages: pipeline stages (conv/pool).
+        input_quantizer: maps FP32 images to integer activations.
+        logits_scale: multiply integer outputs by this to recover logits
+            (irrelevant for argmax, kept for completeness).
+    """
+
+    stages: tuple
+    input_quantizer: SymmetricQuantizer
+    logits_scale: float
+
+
+def _weight_quantizer(
+    weights: np.ndarray, spec: IntSpec, percentile: float
+) -> SymmetricQuantizer:
+    calib = calibrate_percentile(weights, percentile)
+    return SymmetricQuantizer.from_threshold(spec, calib.threshold)
+
+
+def compile_small_cnn(
+    model: SmallCnn,
+    dataset: Dataset,
+    precision: "int | str | IntSpec" = 8,
+    percentile: float = 99.9,
+    calibration_samples: int = 200,
+) -> CompiledCnn:
+    """Quantize and lower a trained :class:`SmallCnn` to pipeline stages.
+
+    Args:
+        model: the trained FP32 network.
+        dataset: calibration images are taken from its training split.
+        precision: activation/weight integer format.
+        percentile: calibration percentile (trained-threshold stand-in).
+    """
+    spec = int_spec(precision)
+
+    # --- activation scales from a calibration batch --------------------
+    record: list[np.ndarray] = []
+    calib_x = dataset.train_x[:calibration_samples]
+    model.forward(calib_x, record=record)
+    input_calib = calibrate_percentile(calib_x, percentile)
+    input_quantizer = SymmetricQuantizer.from_threshold(
+        spec, input_calib.threshold
+    )
+    stage_scales = []
+    for activations in record[:2]:
+        calib = calibrate_percentile(activations, percentile)
+        stage_scales.append(
+            SymmetricQuantizer.from_threshold(spec, calib.threshold).scale
+        )
+
+    # --- conv1 ----------------------------------------------------------
+    w1_quant = _weight_quantizer(model.conv1.weight, spec, percentile)
+    psum1_scale = input_quantizer.scale * w1_quant.scale
+    mult1, shift1 = requant_params_from_scale(
+        psum1_scale / stage_scales[0]
+    )
+    bias1 = np.round(model.conv1.bias / psum1_scale).astype(np.int64)
+
+    # --- conv2 ----------------------------------------------------------
+    w2_quant = _weight_quantizer(model.conv2.weight, spec, percentile)
+    psum2_scale = stage_scales[0] * w2_quant.scale
+    mult2, shift2 = requant_params_from_scale(
+        psum2_scale / stage_scales[1]
+    )
+    bias2 = np.round(model.conv2.bias / psum2_scale).astype(np.int64)
+
+    # --- fc as 3x3 valid conv -------------------------------------------
+    side = dataset.image_size // 4
+    fc_weights = model.fc_weight.reshape(-1, 16, side, side)
+    fc_quant = _weight_quantizer(fc_weights, spec, percentile)
+    psum3_scale = stage_scales[1] * fc_quant.scale
+    bias3 = np.round(model.fc_bias / psum3_scale).astype(np.int64)
+    # logits keep full psum resolution via a wide output format
+    logits_spec = int_spec(24)
+
+    stages = (
+        ConvStage(
+            "conv1",
+            w1_quant.quantize(model.conv1.weight),
+            SdpConfig(
+                out_precision=spec,
+                bias=bias1,
+                multiplier=mult1,
+                shift=shift1,
+                activation="relu",
+            ),
+            padding=1,
+        ),
+        PoolStage("pool1", PdpConfig("max", kernel=2)),
+        ConvStage(
+            "conv2",
+            w2_quant.quantize(model.conv2.weight),
+            SdpConfig(
+                out_precision=spec,
+                bias=bias2,
+                multiplier=mult2,
+                shift=shift2,
+                activation="relu",
+            ),
+            padding=1,
+        ),
+        PoolStage("pool2", PdpConfig("max", kernel=2)),
+        ConvStage(
+            "fc",
+            fc_quant.quantize(fc_weights),
+            SdpConfig(
+                out_precision=logits_spec,
+                bias=bias3,
+            ),
+            padding=0,
+        ),
+    )
+    return CompiledCnn(
+        stages=stages,
+        input_quantizer=input_quantizer,
+        logits_scale=psum3_scale,
+    )
+
+
+def evaluate_on_accelerator(
+    compiled: CompiledCnn,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: CoreConfig | None = None,
+    engine: str = "tempus",
+    limit: int | None = None,
+) -> float:
+    """Classify images through the integer pipeline; returns top-1
+    accuracy.
+
+    Args:
+        compiled: output of :func:`compile_small_cnn`.
+        images: (N, 1, S, S) FP32 images.
+        labels: (N,) targets.
+        config: array geometry (defaults to 8x8 INT8).
+        engine: "tempus" or "binary".
+        limit: evaluate only the first ``limit`` images.
+    """
+    config = config if config is not None else CoreConfig(k=8, n=8)
+    pipeline = InferencePipeline(
+        config, list(compiled.stages), engine=engine
+    )
+    if limit is not None:
+        images = images[:limit]
+        labels = labels[:limit]
+    correct = 0
+    for image, label in zip(images, labels):
+        codes = compiled.input_quantizer.quantize(image)
+        result = pipeline.run(codes)
+        logits = result.output.reshape(-1)
+        if int(np.argmax(logits)) == int(label):
+            correct += 1
+    return correct / max(len(labels), 1)

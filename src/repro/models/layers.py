@@ -1,0 +1,169 @@
+"""Convolution-layer intermediate representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataflowError
+from repro.nvdla.dataflow import ConvShape
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """One convolution layer of a CNN.
+
+    Supports standard, grouped and depthwise convolutions (``groups ==
+    in_channels``), which is required for the MobileNet / ShuffleNet /
+    ResNeXt topologies the paper profiles.
+
+    Attributes:
+        name: dotted layer path, e.g. "features.3.conv.1".
+        in_channels / out_channels: tensor channel counts.
+        kernel_h / kernel_w: filter window.
+        stride: spatial stride.
+        padding: zero padding — an int, or an (pad_h, pad_w) tuple for the
+            rectangular kernels of InceptionV3.
+        groups: channel groups (1 = dense, in_channels = depthwise).
+        in_height / in_width: input spatial size (for MAC/latency math).
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel_h: int
+    kernel_w: int
+    stride: int = 1
+    padding: "int | tuple[int, int]" = 0
+    groups: int = 1
+    in_height: int = 224
+    in_width: int = 224
+
+    def __post_init__(self) -> None:
+        if isinstance(self.padding, int):
+            object.__setattr__(
+                self, "padding", (self.padding, self.padding)
+            )
+        if self.groups < 1:
+            raise DataflowError(f"{self.name}: groups must be >= 1")
+        if self.in_channels % self.groups:
+            raise DataflowError(
+                f"{self.name}: in_channels {self.in_channels} not divisible "
+                f"by groups {self.groups}"
+            )
+        if self.out_channels % self.groups:
+            raise DataflowError(
+                f"{self.name}: out_channels {self.out_channels} not "
+                f"divisible by groups {self.groups}"
+            )
+
+    @property
+    def channels_per_group(self) -> int:
+        return self.in_channels // self.groups
+
+    @property
+    def is_depthwise(self) -> bool:
+        return self.groups == self.in_channels and self.groups > 1
+
+    @property
+    def is_pointwise(self) -> bool:
+        return self.kernel_h == 1 and self.kernel_w == 1
+
+    @property
+    def weight_shape(self) -> tuple[int, int, int, int]:
+        """(K, C/groups, R, S) — the stored weight tensor shape."""
+        return (
+            self.out_channels,
+            self.channels_per_group,
+            self.kernel_h,
+            self.kernel_w,
+        )
+
+    @property
+    def weight_count(self) -> int:
+        k, c, r, s = self.weight_shape
+        return k * c * r * s
+
+    @property
+    def fan_in(self) -> int:
+        return self.channels_per_group * self.kernel_h * self.kernel_w
+
+    @property
+    def padding_h(self) -> int:
+        return self.padding[0]
+
+    @property
+    def padding_w(self) -> int:
+        return self.padding[1]
+
+    @property
+    def out_height(self) -> int:
+        return (
+            self.in_height + 2 * self.padding_h - self.kernel_h
+        ) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (
+            self.in_width + 2 * self.padding_w - self.kernel_w
+        ) // self.stride + 1
+
+    @property
+    def macs(self) -> int:
+        return (
+            self.out_height
+            * self.out_width
+            * self.out_channels
+            * self.fan_in
+        )
+
+    def conv_shape(self) -> ConvShape:
+        """Dataflow view of one group (groups are scheduled as independent
+        convolutions on the core).  Requires symmetric padding."""
+        if self.padding_h != self.padding_w:
+            raise DataflowError(
+                f"{self.name}: dataflow mapping needs symmetric padding"
+            )
+        return ConvShape(
+            in_channels=self.channels_per_group,
+            in_height=self.in_height,
+            in_width=self.in_width,
+            out_channels=self.out_channels // self.groups,
+            kernel_h=self.kernel_h,
+            kernel_w=self.kernel_w,
+            stride=self.stride,
+            padding=self.padding_h,
+        )
+
+    def scaled(self, factor: float) -> "ConvLayerSpec":
+        """Width-scaled copy (used by tests to shrink models); channel
+        counts stay multiples of groups."""
+        if factor <= 0 or factor > 1:
+            raise DataflowError(f"scale factor must be in (0, 1]: {factor}")
+
+        def scale_channels(value: int) -> int:
+            return max(1, int(round(value * factor)))
+
+        if self.groups == 1:
+            groups = 1
+            cin = scale_channels(self.in_channels)
+            cout = scale_channels(self.out_channels)
+        elif self.is_depthwise:
+            groups = scale_channels(self.groups)
+            cin = groups
+            cout = groups * (self.out_channels // self.groups)
+        else:
+            groups = self.groups
+            cin = scale_channels(self.in_channels // groups) * groups
+            cout = scale_channels(self.out_channels // groups) * groups
+        return ConvLayerSpec(
+            name=self.name,
+            in_channels=cin,
+            out_channels=cout,
+            kernel_h=self.kernel_h,
+            kernel_w=self.kernel_w,
+            stride=self.stride,
+            padding=self.padding,
+            groups=groups,
+            in_height=self.in_height,
+            in_width=self.in_width,
+        )

@@ -1,0 +1,62 @@
+"""Convolution accumulator (CACC).
+
+Sums the per-atom partial sums into output pixels.  One accumulator bank
+entry per (kernel, output pixel); the bank is drained into the final output
+tensor when the layer completes.  Identical for both cores — Tempus Core
+reuses the CACC untouched (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.nvdla.cmac import PsumPacket
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.dataflow import ConvShape
+from repro.sim.handshake import ValidReadyChannel
+from repro.sim.kernel import Module
+
+
+class CaccUnit(Module):
+    """Cycle model of the accumulator."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        shape: ConvShape,
+        in_channel: ValidReadyChannel,
+        name: str = "cacc",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.shape = shape
+        self.in_channel = in_channel
+        self.output = np.zeros(
+            (shape.out_channels, shape.out_height, shape.out_width),
+            dtype=np.int64,
+        )
+        self.packets_received = 0
+        self.finished = False
+
+    def reset(self) -> None:
+        self.output = np.zeros_like(self.output)
+        self.packets_received = 0
+        self.finished = False
+
+    def tick(self) -> None:
+        if not self.in_channel.valid:
+            return
+        packet: PsumPacket = self.in_channel.pop()
+        kernel0 = packet.group * self.config.k
+        kernels = min(self.config.k, self.shape.out_channels - kernel0)
+        if kernels <= 0:
+            raise SimulationError(
+                f"psum packet for empty kernel group {packet.group}"
+            )
+        self.output[
+            kernel0 : kernel0 + kernels, packet.out_y, packet.out_x
+        ] += packet.psums[:kernels]
+        self.packets_received += 1
+        if packet.last:
+            self.finished = True

@@ -1,0 +1,127 @@
+"""Binary CMAC unit: k MAC cells, each with n multipliers.
+
+Each MAC cell computes a full n-lane dot product combinationally every
+cycle; the unit registers the k partial sums through one pipeline stage
+(NVDLA retiming) before handing them to the CACC.  Cells whose kernel slot
+is unused (kernel count not a multiple of k) are clock-gated, mirroring
+NVDLA's idle-cell gating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.csc import AtomJob
+from repro.sim.handshake import ValidReadyChannel
+from repro.sim.kernel import Module
+
+
+class BinaryMacCell:
+    """One MAC cell: n multipliers + adder tree (combinational view)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.weights = np.zeros(n, dtype=np.int64)
+
+    def load_weights(self, weights: np.ndarray) -> None:
+        if weights.shape != (self.n,):
+            raise SimulationError(
+                f"weight atom shape {weights.shape} != ({self.n},)"
+            )
+        self.weights = weights.astype(np.int64)
+
+    @property
+    def is_idle(self) -> bool:
+        """All-zero weight atom — the cell contributes nothing and can be
+        gated."""
+        return not self.weights.any()
+
+    def dot(self, feature: np.ndarray) -> int:
+        """The cell's single-cycle partial sum."""
+        if feature.shape != (self.n,):
+            raise SimulationError(
+                f"feature atom shape {feature.shape} != ({self.n},)"
+            )
+        return int(np.dot(self.weights, feature))
+
+
+class PsumPacket:
+    """Partial sums leaving the MAC array for one atom."""
+
+    __slots__ = ("group", "out_y", "out_x", "psums", "last")
+
+    def __init__(
+        self,
+        group: int,
+        out_y: int,
+        out_x: int,
+        psums: np.ndarray,
+        last: bool,
+    ) -> None:
+        self.group = group
+        self.out_y = out_y
+        self.out_x = out_x
+        self.psums = psums
+        self.last = last
+
+
+class CmacUnit(Module):
+    """Cycle model of the CMAC: 1 atom in, k partial sums out, 1-cycle
+    pipeline."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        in_channel: ValidReadyChannel,
+        out_channel: ValidReadyChannel,
+        name: str = "cmac",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.in_channel = in_channel
+        self.out_channel = out_channel
+        self.cells = [BinaryMacCell(config.n) for _ in range(config.k)]
+        self._pipe: PsumPacket | None = None
+        self.atoms_processed = 0
+        self.gated_cell_cycles = 0
+        self.active_cycles = 0
+
+    def reset(self) -> None:
+        self._pipe = None
+        self.atoms_processed = 0
+        self.gated_cell_cycles = 0
+        self.active_cycles = 0
+        for cell in self.cells:
+            cell.weights = np.zeros(self.config.n, dtype=np.int64)
+
+    def _compute(self, job: AtomJob) -> PsumPacket:
+        gated = 0
+        psums = np.zeros(self.config.k, dtype=np.int64)
+        for index, cell in enumerate(self.cells):
+            cell.load_weights(job.weight_block[index])
+            if cell.is_idle:
+                gated += 1
+                continue
+            psums[index] = cell.dot(job.feature)
+        self.gated_cell_cycles += gated
+        return PsumPacket(
+            group=job.atom.group,
+            out_y=job.atom.out_y,
+            out_x=job.atom.out_x,
+            psums=psums,
+            last=job.last,
+        )
+
+    def tick(self) -> None:
+        # Output pipeline stage drains first so a new atom can enter behind
+        # it in the same cycle (full throughput of 1 atom/cycle).
+        if self._pipe is not None and self.out_channel.ready:
+            self.out_channel.push(self._pipe)
+            self._pipe = None
+        if self._pipe is None and self.in_channel.valid:
+            job = self.in_channel.pop()
+            self._pipe = self._compute(job)
+            self.atoms_processed += 1
+            self.active_cycles += 1

@@ -1,0 +1,98 @@
+"""Convolution sequence controller (CSC).
+
+Walks the atom schedule of :func:`repro.nvdla.dataflow.iter_atoms`, fetches
+feature and weight atoms from the CBUF and pushes :class:`AtomJob` packets
+downstream, respecting back-pressure from the MAC array.  The binary CMAC
+consumes one job per cycle; Tempus Core's PCU holds the channel busy for a
+whole multi-cycle burst, which stalls this same sequencer without any
+schedule change — the drop-in-compatibility argument of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.nvdla.cbuf import ConvBuffer
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.dataflow import Atom, ConvShape, iter_atoms
+from repro.sim.handshake import ValidReadyChannel
+from repro.sim.kernel import Module
+
+
+@dataclass
+class AtomJob:
+    """One unit of work for the MAC array.
+
+    Attributes:
+        atom: schedule coordinates.
+        feature: (n,) feature slice (zero-padded at edges).
+        weight_block: (k, n) weight slice for the atom's kernel group.
+        last: True for the final atom of the layer.
+    """
+
+    atom: Atom
+    feature: np.ndarray
+    weight_block: np.ndarray
+    last: bool
+
+
+class SequenceController(Module):
+    """Cycle model of the CSC: one atom issued per cycle when the
+    downstream channel has room."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        shape: ConvShape,
+        cbuf: ConvBuffer,
+        out_channel: ValidReadyChannel,
+        name: str = "csc",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.shape = shape
+        self.cbuf = cbuf
+        self.out_channel = out_channel
+        self._atoms: Iterator[Atom] | None = None
+        self._next_atom: Atom | None = None
+        self._pending: Atom | None = None
+        self.issued = 0
+        self.total_atoms = (
+            shape.kernel_groups(config.k)
+            * shape.output_pixels
+            * shape.atoms_per_pixel(config.n)
+        )
+
+    def reset(self) -> None:
+        self._atoms = iter_atoms(self.shape, self.config.k, self.config.n)
+        self._pending = next(self._atoms, None)
+        self._next_atom = next(self._atoms, None)
+        self.issued = 0
+
+    @property
+    def done(self) -> bool:
+        return self._pending is None
+
+    def _make_job(self, atom: Atom, last: bool) -> AtomJob:
+        return AtomJob(
+            atom=atom,
+            feature=self.cbuf.fetch_feature(atom, self.config.n),
+            weight_block=self.cbuf.fetch_weights(
+                atom, self.config.k, self.config.n
+            ),
+            last=last,
+        )
+
+    def tick(self) -> None:
+        if self._pending is None or not self.out_channel.ready:
+            return
+        job = self._make_job(self._pending, last=self._next_atom is None)
+        self.out_channel.push(job)
+        self.issued += 1
+        self._pending = self._next_atom
+        self._next_atom = (
+            next(self._atoms, None) if self._atoms is not None else None
+        )

@@ -1,0 +1,114 @@
+"""Netlist builders for the binary (NVDLA CMAC) datapath.
+
+Hierarchy mirrors the paper's three evaluation granularities:
+
+* :func:`binary_pe_cell_netlist` — one MAC cell (n multipliers, weight and
+  product registers, adder tree, psum register) — Table II.
+* :func:`binary_array_netlist` — k cells + feature broadcast — Fig. 4.
+* :func:`cmac_unit_netlist` — the full CMAC unit with input staging,
+  output registers, retiming and handshake — Fig. 5 / Table III.
+
+Activity annotations (toggle rates) are the power model's inputs; they are
+centralised here so the calibration story is in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.adder_tree import adder_tree
+from repro.hw.components import (
+    broadcast_buffers,
+    clock_gate,
+    handshake_controller,
+    register_bank,
+)
+from repro.hw.netlist import Netlist
+from repro.hw.wallace import wallace_multiplier
+from repro.utils.intrange import IntSpec, int_spec
+
+# Toggle-rate calibration for the binary datapath.
+MULT_ACTIVITY = 0.25  # array multipliers glitch heavily
+TREE_ACTIVITY = 0.20
+WEIGHT_REG_ACTIVITY = 0.02  # weights cached per atom reuse window
+PRODUCT_REG_ACTIVITY = 0.30  # new products every cycle
+PSUM_REG_ACTIVITY = 0.30
+INPUT_REG_ACTIVITY = 0.30  # a fresh feature atom arrives every cycle
+
+
+def accumulator_width(precision: IntSpec, n: int) -> int:
+    """Bits for an exact n-lane dot product at a given precision."""
+    product_bits = 2 * precision.width
+    return product_bits + (max(1, math.ceil(math.log2(n))) if n > 1 else 1)
+
+
+def binary_pe_cell_netlist(
+    precision: "int | str | IntSpec", n: int, name: str = "binary_pe_cell"
+) -> Netlist:
+    """One NVDLA MAC cell: n Wallace multipliers + registers + adder
+    tree."""
+    spec = int_spec(precision)
+    width = spec.width
+    acc_bits = accumulator_width(spec, n)
+    cell = Netlist(name)
+    mult = wallace_multiplier(width, name="mult")
+    mult.activity = MULT_ACTIVITY
+    cell.add_child(mult, n)
+    cell.add_child(
+        register_bank(n * width, "weight_regs", WEIGHT_REG_ACTIVITY)
+    )
+    cell.add_child(
+        register_bank(n * 2 * width, "product_regs", PRODUCT_REG_ACTIVITY)
+    )
+    cell.add_child(
+        adder_tree(n, 2 * width, name="psum_tree", activity=TREE_ACTIVITY)
+    )
+    cell.add_child(register_bank(acc_bits, "psum_reg", PSUM_REG_ACTIVITY))
+    return cell
+
+
+def binary_array_netlist(
+    k: int,
+    n: int,
+    precision: "int | str | IntSpec",
+    name: str = "binary_array",
+) -> Netlist:
+    """k x n binary PE array: k cells plus the feature broadcast fabric."""
+    spec = int_spec(precision)
+    array = Netlist(name)
+    cell = binary_pe_cell_netlist(spec, n, name="pe_cell")
+    array.add_child(cell, k)
+    array.add_child(broadcast_buffers(n * spec.width, k, name="bcast"))
+    array.connect("bcast", "pe_cell", n * spec.width)
+    array.connect("pe_cell", "TOP", accumulator_width(spec, n))
+    return array
+
+
+def cmac_unit_netlist(
+    k: int,
+    n: int,
+    precision: "int | str | IntSpec",
+    name: str = "cmac_unit",
+) -> Netlist:
+    """The complete CMAC unit: array + staging/output registers +
+    handshake + per-cell clock gating (idle-cell power control)."""
+    spec = int_spec(precision)
+    acc_bits = accumulator_width(spec, n)
+    unit = Netlist(name)
+    cell = binary_pe_cell_netlist(spec, n, name="pe_cell")
+    unit.add_child(cell, k)
+    unit.add_child(
+        register_bank(n * spec.width, "input_regs", INPUT_REG_ACTIVITY)
+    )
+    unit.add_child(broadcast_buffers(n * spec.width, k, name="bcast"))
+    unit.add_child(
+        register_bank(k * acc_bits, "output_regs", PSUM_REG_ACTIVITY)
+    )
+    unit.add_child(handshake_controller("handshake"))
+    unit.add_child(clock_gate("cell_cg"), k)
+    unit.connect("input_regs", "bcast", n * spec.width)
+    unit.connect("bcast", "pe_cell", n * spec.width)
+    unit.connect("pe_cell", "output_regs", acc_bits)
+    unit.connect("output_regs", "TOP", k * acc_bits)
+    unit.connect("handshake", "pe_cell", 4)
+    return unit

@@ -1,0 +1,116 @@
+"""Planar Data Processor (PDP) — NVDLA's pooling engine.
+
+Integer max/average pooling over (K, H, W) activation tensors.  Average
+pooling is exact fixed-point: the window sum is scaled by a rounded
+reciprocal, matching how the hardware avoids a divider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataflowError
+
+_MODES = ("max", "average")
+#: Fixed-point bits for the average-pool reciprocal.
+_RECIP_BITS = 16
+
+
+@dataclass(frozen=True)
+class PdpConfig:
+    """One pooling pass.
+
+    Attributes:
+        mode: "max" or "average".
+        kernel: square window size.
+        stride: window stride (defaults to the kernel size).
+        padding: zero padding on all sides.
+    """
+
+    mode: str
+    kernel: int
+    stride: int | None = None
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise DataflowError(
+                f"unknown pooling mode {self.mode!r}; expected {_MODES}"
+            )
+        if self.kernel < 1:
+            raise DataflowError("pooling kernel must be >= 1")
+        if self.padding < 0:
+            raise DataflowError("padding must be >= 0")
+        if self.stride is None:
+            object.__setattr__(self, "stride", self.kernel)
+        if self.stride < 1:
+            raise DataflowError("stride must be >= 1")
+
+
+class Pdp:
+    """Behavioral PDP."""
+
+    def __init__(self, config: PdpConfig) -> None:
+        self.config = config
+        self.windows_processed = 0
+
+    def output_size(self, height: int, width: int) -> tuple[int, int]:
+        config = self.config
+        out_h = (height + 2 * config.padding - config.kernel) \
+            // config.stride + 1
+        out_w = (width + 2 * config.padding - config.kernel) \
+            // config.stride + 1
+        if out_h < 1 or out_w < 1:
+            raise DataflowError(
+                f"pooling window {config.kernel} does not fit "
+                f"{height}x{width} with padding {config.padding}"
+            )
+        return out_h, out_w
+
+    def apply(self, activations: np.ndarray) -> np.ndarray:
+        """Pool a (K, H, W) tensor; returns int64 (K, OH, OW)."""
+        config = self.config
+        values = np.asarray(activations, dtype=np.int64)
+        if values.ndim != 3:
+            raise DataflowError("PDP expects a (K, H, W) tensor")
+        channels, height, width = values.shape
+        out_h, out_w = self.output_size(height, width)
+
+        if config.mode == "max":
+            # Pad with the minimum so padding never wins the max.
+            pad_value = np.iinfo(np.int64).min
+        else:
+            pad_value = 0
+        padded = np.pad(
+            values,
+            ((0, 0), (config.padding, config.padding),
+             (config.padding, config.padding)),
+            mode="constant",
+            constant_values=pad_value,
+        )
+        out = np.empty((channels, out_h, out_w), dtype=np.int64)
+        recip = int(
+            round((1 << _RECIP_BITS) / (config.kernel * config.kernel))
+        )
+        for row in range(out_h):
+            for col in range(out_w):
+                window = padded[
+                    :,
+                    row * config.stride : row * config.stride
+                    + config.kernel,
+                    col * config.stride : col * config.stride
+                    + config.kernel,
+                ]
+                if config.mode == "max":
+                    out[:, row, col] = window.max(axis=(1, 2))
+                else:
+                    sums = window.sum(axis=(1, 2))
+                    scaled = sums * recip
+                    offset = 1 << (_RECIP_BITS - 1)
+                    out[:, row, col] = np.sign(scaled) * (
+                        (np.abs(scaled) + offset) >> _RECIP_BITS
+                    )
+        self.windows_processed += channels * out_h * out_w
+        return out

@@ -1,0 +1,157 @@
+"""Full inference pipeline: conv core + SDP + PDP, layer by layer.
+
+The complete NVDLA picture of Fig. 3: activations stream through the
+convolution core (binary CMAC *or* Tempus Core — selected by name), the
+SDP requantizes and applies the activation function, and the PDP pools.
+All arithmetic is exact integers, so a whole network produces bit-identical
+outputs on both cores while their cycle counts differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataflowError
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.conv_core import ConvolutionCore
+from repro.nvdla.pdp import Pdp, PdpConfig
+from repro.nvdla.sdp import Sdp, SdpConfig
+
+
+@dataclass(frozen=True)
+class ConvStage:
+    """One convolution layer plus its SDP pass.
+
+    Attributes:
+        name: stage label.
+        weights: (K, C, R, S) integer weights in the core's precision.
+        sdp: post-processing configuration.
+        stride / padding: conv parameters.
+    """
+
+    name: str
+    weights: np.ndarray
+    sdp: SdpConfig
+    stride: int = 1
+    padding: int = 0
+
+
+@dataclass(frozen=True)
+class PoolStage:
+    """One PDP pooling pass."""
+
+    name: str
+    pdp: PdpConfig
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Execution record of one pipeline stage."""
+
+    name: str
+    kind: str
+    output_shape: tuple[int, ...]
+    conv_cycles: int = 0
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """A full forward pass."""
+
+    output: np.ndarray
+    stages: tuple[StageResult, ...]
+
+    @property
+    def conv_cycles(self) -> int:
+        return sum(stage.conv_cycles for stage in self.stages)
+
+
+class InferencePipeline:
+    """A sequential integer CNN executed on a selectable conv engine."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        stages: "list[ConvStage | PoolStage]",
+        engine: str = "tempus",
+    ) -> None:
+        """Args:
+        config: MAC array geometry/precision.
+        stages: ordered conv/pool stages.
+        engine: "tempus" or "binary".
+        """
+        if engine not in ("tempus", "binary"):
+            raise DataflowError(f"unknown engine {engine!r}")
+        self.config = config
+        self.stages = list(stages)
+        self.engine_name = engine
+        if engine == "tempus":
+            # Imported here: repro.core depends on repro.nvdla's dataflow
+            # modules, so a module-level import would be circular.
+            from repro.core.tempus_core import TempusCore
+
+            self._core = TempusCore(config, mode="fast")
+        else:
+            self._core = ConvolutionCore(config, mode="fast")
+
+    def run(self, activations: np.ndarray) -> PipelineResult:
+        """Forward one (C, H, W) integer input through every stage."""
+        current = np.asarray(activations, dtype=np.int64)
+        records: list[StageResult] = []
+        for stage in self.stages:
+            if isinstance(stage, ConvStage):
+                result = self._core.run_layer(
+                    current,
+                    stage.weights,
+                    stride=stage.stride,
+                    padding=stage.padding,
+                )
+                current = Sdp(stage.sdp).apply(result.output)
+                records.append(
+                    StageResult(
+                        name=stage.name,
+                        kind="conv",
+                        output_shape=tuple(current.shape),
+                        conv_cycles=result.cycles,
+                    )
+                )
+            elif isinstance(stage, PoolStage):
+                current = Pdp(stage.pdp).apply(current)
+                records.append(
+                    StageResult(
+                        name=stage.name,
+                        kind="pool",
+                        output_shape=tuple(current.shape),
+                    )
+                )
+            else:
+                raise DataflowError(
+                    f"unsupported stage type {type(stage).__name__}"
+                )
+        return PipelineResult(output=current, stages=tuple(records))
+
+
+def compare_engines(
+    config: CoreConfig,
+    stages: "list[ConvStage | PoolStage]",
+    activations: np.ndarray,
+) -> tuple[PipelineResult, PipelineResult]:
+    """Run the same network on both engines; returns (binary, tempus).
+
+    Raises:
+        DataflowError: if the two engines ever disagree (they cannot, by
+            construction — this is the drop-in guarantee made executable).
+    """
+    binary = InferencePipeline(config, stages, engine="binary").run(
+        activations
+    )
+    tempus = InferencePipeline(config, stages, engine="tempus").run(
+        activations
+    )
+    if not np.array_equal(binary.output, tempus.output):
+        raise DataflowError(
+            "engines diverged — dataflow compliance violated"
+        )
+    return binary, tempus

@@ -1,0 +1,122 @@
+"""Single-point Data Processor (SDP) — NVDLA's post-processing stage.
+
+Fig. 3 places a post-processing unit (activation engine et al.) after the
+convolution core.  The SDP consumes CACC partial sums (wide integers) and
+produces the next layer's activations: per-kernel bias add, integer
+requantization (multiply + arithmetic shift with round-to-nearest — the
+fixed-point equivalent of scaling by ``multiplier / 2^shift``), and the
+activation function.  Everything is exact integer arithmetic, so a whole
+network runs bit-reproducibly through either convolution core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataflowError
+from repro.utils.intrange import IntSpec, int_spec
+
+_ACTIVATIONS = ("none", "relu", "prelu")
+
+
+def requant_params_from_scale(
+    scale: float, precision_bits: int = 16
+) -> tuple[int, int]:
+    """Fixed-point (multiplier, shift) approximating a float rescale.
+
+    Chooses the largest shift such that ``multiplier = round(scale * 2^s)``
+    fits ``precision_bits`` bits, i.e. ``multiplier / 2^shift ~= scale``.
+    """
+    if scale <= 0:
+        raise DataflowError(f"requant scale must be positive, got {scale}")
+    shift = 0
+    multiplier = scale
+    limit = (1 << precision_bits) - 1
+    while multiplier < limit / 2 and shift < 62:
+        shift += 1
+        multiplier = scale * (1 << shift)
+    multiplier = int(round(multiplier))
+    if multiplier > limit:
+        multiplier >>= 1
+        shift -= 1
+    return max(multiplier, 1), shift
+
+
+def _rounded_shift(values: np.ndarray, shift: int) -> np.ndarray:
+    """Arithmetic right shift with round-half-away-from-zero."""
+    if shift == 0:
+        return values
+    offset = 1 << (shift - 1)
+    magnitude = (np.abs(values) + offset) >> shift
+    return np.sign(values) * magnitude
+
+
+@dataclass(frozen=True)
+class SdpConfig:
+    """One SDP pass.
+
+    Attributes:
+        out_precision: activation format produced (INT8 typical).
+        bias: optional per-kernel bias added before rescale (int32 range).
+        multiplier / shift: requantization as out = in * mult >> shift.
+        activation: "none", "relu" or "prelu".
+        prelu_multiplier / prelu_shift: negative-side scale for PReLU.
+    """
+
+    out_precision: IntSpec
+    bias: np.ndarray | None = None
+    multiplier: int = 1
+    shift: int = 0
+    activation: str = "none"
+    prelu_multiplier: int = 1
+    prelu_shift: int = 3
+
+    def __post_init__(self) -> None:
+        if self.activation not in _ACTIVATIONS:
+            raise DataflowError(
+                f"unknown activation {self.activation!r}; expected one of "
+                f"{_ACTIVATIONS}"
+            )
+        if self.multiplier < 1 or self.shift < 0:
+            raise DataflowError("requant multiplier/shift out of range")
+        object.__setattr__(
+            self, "out_precision", int_spec(self.out_precision)
+        )
+
+
+class Sdp:
+    """Behavioral SDP: bias -> activation -> requantize -> saturate."""
+
+    def __init__(self, config: SdpConfig) -> None:
+        self.config = config
+        self.elements_processed = 0
+
+    def apply(self, psums: np.ndarray) -> np.ndarray:
+        """Process a (K, OH, OW) partial-sum tensor into activations.
+
+        Returns:
+            int64 tensor saturated to the configured output precision.
+        """
+        config = self.config
+        values = np.asarray(psums, dtype=np.int64)
+        if values.ndim != 3:
+            raise DataflowError("SDP expects a (K, OH, OW) tensor")
+        if config.bias is not None:
+            bias = np.asarray(config.bias, dtype=np.int64)
+            if bias.shape != (values.shape[0],):
+                raise DataflowError(
+                    f"bias shape {bias.shape} != ({values.shape[0]},)"
+                )
+            values = values + bias[:, None, None]
+        if config.activation == "relu":
+            values = np.maximum(values, 0)
+        elif config.activation == "prelu":
+            negative = _rounded_shift(
+                values * config.prelu_multiplier, config.prelu_shift
+            )
+            values = np.where(values >= 0, values, negative)
+        values = _rounded_shift(values * config.multiplier, config.shift)
+        self.elements_processed += values.size
+        return config.out_precision.clip(values).astype(np.int64)

@@ -1,0 +1,202 @@
+"""CBUF-aware layer tiling.
+
+A real layer rarely fits the convolution buffer whole; NVDLA's software
+stack splits it into tiles the CBUF can hold and the CSC walks tile by
+tile.  This module plans such splits — along output rows (activations with
+kernel-window halos) and along kernels (weight partitions) — and runs a
+layer tile-wise through either core, stitching exact results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataflowError
+from repro.nvdla.cbuf import ConvBuffer
+from repro.nvdla.conv_core import ConvResult
+from repro.nvdla.dataflow import ConvShape
+from repro.utils.intrange import IntSpec
+
+
+@dataclass(frozen=True)
+class LayerTile:
+    """One schedulable tile of a convolution layer.
+
+    Attributes:
+        out_row0 / out_rows: output-row slice this tile produces.
+        in_row0 / in_rows: input-row slice (includes the kernel halo and
+            accounts for edge padding).
+        kernel0 / kernels: kernel slice held in the weight banks.
+        pad_top / pad_bottom: how much of the original zero padding this
+            tile still needs on each vertical edge.
+    """
+
+    out_row0: int
+    out_rows: int
+    in_row0: int
+    in_rows: int
+    kernel0: int
+    kernels: int
+    pad_top: int
+    pad_bottom: int
+
+
+def _tile_bytes(
+    shape: ConvShape, in_rows: int, kernels: int, precision: IntSpec
+) -> tuple[int, int]:
+    activation_bits = shape.in_channels * in_rows * shape.in_width \
+        * precision.width
+    weight_bits = (
+        kernels * shape.in_channels * shape.kernel_h * shape.kernel_w
+        * precision.width
+    )
+    return (activation_bits + 7) // 8, (weight_bits + 7) // 8
+
+
+def plan_layer_tiles(
+    shape: ConvShape,
+    cbuf: ConvBuffer,
+    precision: IntSpec,
+) -> list[LayerTile]:
+    """Split a layer so every tile fits the CBUF.
+
+    Strategy: first split kernels into the largest groups whose weights fit
+    half the banks, then split output rows until the haloed activation
+    slice fits the rest.
+
+    Raises:
+        DataflowError: if even a single output row with one kernel cannot
+            fit (the layer needs channel splitting, which this planner
+            does not implement).
+    """
+    weight_banks_budget = cbuf.banks // 2
+    kernels_per_tile = shape.out_channels
+    while kernels_per_tile > 1:
+        _, weight_bytes = _tile_bytes(
+            shape, 1, kernels_per_tile, precision
+        )
+        if cbuf.banks_needed(weight_bytes) <= weight_banks_budget:
+            break
+        kernels_per_tile = math.ceil(kernels_per_tile / 2)
+
+    def activation_fits(out_rows: int, kernels: int) -> bool:
+        in_rows = (out_rows - 1) * shape.stride + shape.kernel_h
+        act_bytes, weight_bytes = _tile_bytes(
+            shape, min(in_rows, shape.in_height), kernels, precision
+        )
+        return (
+            cbuf.banks_needed(act_bytes)
+            + cbuf.banks_needed(weight_bytes)
+            <= cbuf.banks
+        )
+
+    out_rows_per_tile = shape.out_height
+    while out_rows_per_tile > 1 and not activation_fits(
+        out_rows_per_tile, kernels_per_tile
+    ):
+        out_rows_per_tile = math.ceil(out_rows_per_tile / 2)
+    if not activation_fits(out_rows_per_tile, kernels_per_tile):
+        raise DataflowError(
+            "layer cannot be tiled into the CBUF even one output row at "
+            "a time; channel splitting required"
+        )
+
+    tiles = []
+    for kernel0 in range(0, shape.out_channels, kernels_per_tile):
+        kernels = min(kernels_per_tile, shape.out_channels - kernel0)
+        for out_row0 in range(0, shape.out_height, out_rows_per_tile):
+            out_rows = min(
+                out_rows_per_tile, shape.out_height - out_row0
+            )
+            first_in = out_row0 * shape.stride - shape.padding
+            last_in = (
+                (out_row0 + out_rows - 1) * shape.stride
+                - shape.padding
+                + shape.kernel_h
+                - 1
+            )
+            in_row0 = max(first_in, 0)
+            in_row1 = min(last_in, shape.in_height - 1)
+            tiles.append(
+                LayerTile(
+                    out_row0=out_row0,
+                    out_rows=out_rows,
+                    in_row0=in_row0,
+                    in_rows=in_row1 - in_row0 + 1,
+                    kernel0=kernel0,
+                    kernels=kernels,
+                    pad_top=max(-first_in, 0),
+                    pad_bottom=max(last_in - (shape.in_height - 1), 0),
+                )
+            )
+    return tiles
+
+
+def run_tiled_layer(
+    core,
+    activations: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> ConvResult:
+    """Run a layer tile-by-tile on a core whose CBUF it may not fit.
+
+    Each tile is executed as its own (smaller) convolution with the halo
+    rows supplied explicitly and residual padding applied vertically only
+    where the original layer had it.  Outputs stitch exactly.
+    """
+    activations = np.asarray(activations, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.int64)
+    channels, height, width = activations.shape
+    kernels, _, kernel_h, kernel_w = weights.shape
+    shape = ConvShape(
+        in_channels=channels,
+        in_height=height,
+        in_width=width,
+        out_channels=kernels,
+        kernel_h=kernel_h,
+        kernel_w=kernel_w,
+        stride=stride,
+        padding=padding,
+    )
+    tiles = plan_layer_tiles(shape, core.cbuf, core.config.precision)
+    output = np.zeros(
+        (kernels, shape.out_height, shape.out_width), dtype=np.int64
+    )
+    total_cycles = 0
+    total_atoms = 0
+    for tile in tiles:
+        tile_rows = activations[
+            :, tile.in_row0 : tile.in_row0 + tile.in_rows, :
+        ]
+        # Vertical residual padding is materialised (the planner already
+        # accounted for it in the halo); horizontal padding stays with the
+        # core's own padding parameter.
+        if tile.pad_top or tile.pad_bottom:
+            tile_rows = np.pad(
+                tile_rows,
+                ((0, 0), (tile.pad_top, tile.pad_bottom), (0, 0)),
+            )
+        tile_rows = np.pad(
+            tile_rows, ((0, 0), (0, 0), (padding, padding))
+        )
+        tile_weights = weights[tile.kernel0 : tile.kernel0 + tile.kernels]
+        result = core.run_layer(
+            tile_rows, tile_weights, stride=stride, padding=0
+        )
+        output[
+            tile.kernel0 : tile.kernel0 + tile.kernels,
+            tile.out_row0 : tile.out_row0 + tile.out_rows,
+            :,
+        ] = result.output[:, : tile.out_rows, :]
+        total_cycles += result.cycles
+        total_atoms += result.atoms
+    return ConvResult(
+        output=output,
+        cycles=total_cycles,
+        atoms=total_atoms,
+        macs=shape.macs,
+    )

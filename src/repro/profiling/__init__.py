@@ -1,0 +1,32 @@
+"""CNN weight profiling and workload-dependent latency/energy analysis.
+
+Implements the paper's Sec. IV profiling methodology: 16x16 max-pool over
+convolution-layer weights for burst latency (Fig. 7), zero-weight counting
+for silent-PE statistics (Fig. 8, Table I), and the Sec. V-C energy model
+combining measured array power with profiled cycle counts.
+"""
+
+from repro.profiling.magnitude import (
+    MagnitudeProfile,
+    profile_model_magnitudes,
+)
+from repro.profiling.sparsity import (
+    SparsityProfile,
+    profile_model_sparsity,
+)
+from repro.profiling.latency import (
+    WorkloadLatency,
+    model_workload_latency,
+)
+from repro.profiling.energy import EnergyComparison, workload_energy
+
+__all__ = [
+    "MagnitudeProfile",
+    "profile_model_magnitudes",
+    "SparsityProfile",
+    "profile_model_sparsity",
+    "WorkloadLatency",
+    "model_workload_latency",
+    "EnergyComparison",
+    "workload_energy",
+]

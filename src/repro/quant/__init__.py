@@ -1,0 +1,32 @@
+"""Low-precision integer quantization substrate.
+
+Implements the symmetric/affine quantizers, min-max and percentile (trained
+threshold style) calibration, and the :class:`QuantizedTensor` container used
+by the model zoo, the profiling package and the Fig. 1 accuracy experiment.
+"""
+
+from repro.quant.calibration import (
+    CalibrationResult,
+    calibrate_minmax,
+    calibrate_percentile,
+)
+from repro.quant.qtensor import QuantizedTensor
+from repro.quant.quantize import (
+    AffineQuantizer,
+    SymmetricQuantizer,
+    fake_quantize,
+    quantize_per_channel,
+    quantize_per_tensor,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate_minmax",
+    "calibrate_percentile",
+    "QuantizedTensor",
+    "SymmetricQuantizer",
+    "AffineQuantizer",
+    "fake_quantize",
+    "quantize_per_tensor",
+    "quantize_per_channel",
+]

@@ -1,0 +1,66 @@
+"""Calibration: choosing the clipping threshold before quantization.
+
+Two strategies are provided, matching common practice for the INT8/INT4
+models the paper profiles:
+
+* **min-max**: threshold = max |x| (no clipping, widest scale).
+* **percentile**: threshold = the q-th percentile of |x| — a light-weight
+  stand-in for the "trained quantization thresholds" of Jain et al. (the
+  paper's Fig. 1 source), which clip outliers to preserve resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A chosen clipping threshold.
+
+    Attributes:
+        threshold: positive clipping magnitude (maps to the top code).
+        coverage: fraction of elements with |x| <= threshold.
+    """
+
+    threshold: float
+    coverage: float
+
+
+def _validate(values: np.ndarray) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise CalibrationError("cannot calibrate an empty tensor")
+    if not np.all(np.isfinite(arr)):
+        raise CalibrationError("tensor contains non-finite values")
+    return arr
+
+
+def calibrate_minmax(values: np.ndarray) -> CalibrationResult:
+    """Threshold at the maximum absolute value."""
+    arr = _validate(values)
+    threshold = float(np.abs(arr).max())
+    if threshold == 0.0:
+        threshold = 1.0  # all-zero tensor: any scale works; pick 1
+    return CalibrationResult(threshold=threshold, coverage=1.0)
+
+
+def calibrate_percentile(
+    values: np.ndarray, percentile: float = 99.9
+) -> CalibrationResult:
+    """Threshold at a percentile of |x| (clips the tail above it)."""
+    if not 0.0 < percentile <= 100.0:
+        raise CalibrationError(
+            f"percentile must be in (0, 100], got {percentile}"
+        )
+    arr = _validate(values)
+    magnitudes = np.abs(arr)
+    threshold = float(np.percentile(magnitudes, percentile))
+    if threshold == 0.0:
+        return calibrate_minmax(arr)
+    coverage = float(np.mean(magnitudes <= threshold))
+    return CalibrationResult(threshold=threshold, coverage=coverage)

@@ -1,0 +1,13 @@
+"""Minimal cycle-driven simulation kernel.
+
+The behavioral models of CMAC and the Tempus PCU are built on this kernel:
+plain Python modules with a ``tick()`` advanced by a :class:`CycleSimulator`,
+single-entry valid/ready channels for the CSC -> PE array -> CACC handshake,
+and a trace recorder used by the dataflow example (Fig. 2) and debugging.
+"""
+
+from repro.sim.kernel import CycleSimulator, Module
+from repro.sim.handshake import ValidReadyChannel
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["CycleSimulator", "Module", "ValidReadyChannel", "TraceRecorder"]

@@ -1,0 +1,70 @@
+"""Valid/ready handshake channel.
+
+Tempus Core adds "additional handshaking logic to facilitate multi-cycle
+convolution operation" between the CSC, the PCU and the CACC.  This channel
+models that interface: a single-entry buffer where the producer pushes when
+space is available and the consumer pops when data is present.  Back-pressure
+(a full channel) is how the multi-cycle tub burst stalls the upstream
+sequencer.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from repro.errors import SimulationError
+
+T = TypeVar("T")
+
+
+class ValidReadyChannel(Generic[T]):
+    """Single-entry decoupled channel."""
+
+    def __init__(self, name: str = "channel") -> None:
+        self.name = name
+        self._payload: T | None = None
+        self._valid = False
+        self.pushes = 0
+        self.pops = 0
+        self.stall_cycles = 0
+
+    @property
+    def valid(self) -> bool:
+        """Data waiting for the consumer."""
+        return self._valid
+
+    @property
+    def ready(self) -> bool:
+        """Space available for the producer."""
+        return not self._valid
+
+    def push(self, payload: T) -> bool:
+        """Producer side: offer a payload; returns True if accepted."""
+        if self._valid:
+            self.stall_cycles += 1
+            return False
+        self._payload = payload
+        self._valid = True
+        self.pushes += 1
+        return True
+
+    def peek(self) -> T:
+        if not self._valid:
+            raise SimulationError(f"peek on empty channel {self.name!r}")
+        assert self._payload is not None or self._valid
+        return self._payload  # type: ignore[return-value]
+
+    def pop(self) -> T:
+        """Consumer side: take the payload."""
+        payload = self.peek()
+        self._payload = None
+        self._valid = False
+        self.pops += 1
+        return payload
+
+    def reset(self) -> None:
+        self._payload = None
+        self._valid = False
+        self.pushes = 0
+        self.pops = 0
+        self.stall_cycles = 0

@@ -1,0 +1,79 @@
+"""Cycle simulator and module base class."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable
+
+from repro.errors import SimulationError
+
+
+class Module(ABC):
+    """A clocked hardware block.
+
+    Subclasses implement :meth:`tick` (one rising clock edge) and
+    :meth:`reset`.  Composite modules own their children and call the
+    children's ``tick`` in dataflow order inside their own.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return all state to power-on values."""
+
+    @abstractmethod
+    def tick(self) -> None:
+        """Advance one clock cycle."""
+
+
+class CycleSimulator:
+    """Drives a set of top-level modules in lockstep.
+
+    The simulator is deliberately simple: modules are ticked in registration
+    order once per cycle, and communication happens through explicit channel
+    objects, so there is no delta-cycle scheduling to reason about.
+    """
+
+    def __init__(self, modules: Iterable[Module] | None = None) -> None:
+        self._modules: list[Module] = list(modules) if modules else []
+        self.cycle = 0
+
+    def add(self, module: Module) -> Module:
+        self._modules.append(module)
+        return module
+
+    def reset(self) -> None:
+        self.cycle = 0
+        for module in self._modules:
+            module.reset()
+
+    def step(self, cycles: int = 1) -> int:
+        """Advance ``cycles`` clock edges; returns the new cycle count."""
+        if cycles < 0:
+            raise SimulationError(f"cannot step {cycles} cycles")
+        for _ in range(cycles):
+            for module in self._modules:
+                module.tick()
+            self.cycle += 1
+        return self.cycle
+
+    def run_until(
+        self, condition: Callable[[], bool], max_cycles: int = 1_000_000
+    ) -> int:
+        """Step until ``condition()`` holds; returns cycles consumed.
+
+        Raises:
+            SimulationError: if the condition is still false after
+                ``max_cycles`` (deadlock guard).
+        """
+        start = self.cycle
+        while not condition():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"condition not met within {max_cycles} cycles "
+                    f"(possible deadlock)"
+                )
+            self.step()
+        return self.cycle - start

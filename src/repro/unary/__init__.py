@@ -1,0 +1,34 @@
+"""Temporal-unary encoding substrate.
+
+This package implements the two deterministic unary codes used by the tub
+(temporal-unary-binary) multiplier family:
+
+* **pure unary** (tuGEMM): a magnitude ``m`` becomes ``m`` pulses of value 1.
+* **2s-unary** (tubGEMM / Tempus Core): ``floor(m/2)`` pulses of value 2 plus
+  one pulse of value 1 when ``m`` is odd — halving the stream length, which
+  is where Tempus Core's worst-case-latency halving comes from.
+
+It also provides cycle-level encoder/decoder blocks mirroring the "2s-unary
+blocks in the temporal encoder" the paper places inside each PE cell.
+"""
+
+from repro.unary.bitstream import TemporalBitstream
+from repro.unary.encoding import (
+    PureUnaryCode,
+    TwosUnaryCode,
+    UnaryCode,
+    get_code,
+)
+from repro.unary.encoder import TemporalEncoder, encode_cycles
+from repro.unary.decoder import TemporalAccumulator
+
+__all__ = [
+    "TemporalBitstream",
+    "UnaryCode",
+    "PureUnaryCode",
+    "TwosUnaryCode",
+    "get_code",
+    "TemporalEncoder",
+    "TemporalAccumulator",
+    "encode_cycles",
+]

@@ -1,0 +1,42 @@
+"""Temporal-to-binary conversion (the accumulate side of a tub lane).
+
+The decoder is just a signed accumulator: for every incoming pulse it adds
+``pulse * operand`` (the pulse already carries its value and sign).  In the
+multiplier, ``operand`` is the binary activation; in an encode/decode
+round-trip test, ``operand`` is 1.
+"""
+
+from __future__ import annotations
+
+from repro.unary.bitstream import TemporalBitstream
+
+
+class TemporalAccumulator:
+    """Signed accumulator consuming pulses against a binary operand."""
+
+    def __init__(self) -> None:
+        self._total = 0
+
+    def reset(self) -> None:
+        self._total = 0
+
+    def tick(self, pulse: int, operand: int = 1) -> int:
+        """Accumulate one cycle's contribution; returns the running total.
+
+        Hardware note: a pulse of 2 contributes ``operand << 1`` (a wiring
+        shift), a pulse of 1 contributes ``operand`` — no multiplier is
+        involved, only an adder and a small select mux.
+        """
+        if pulse:
+            self._total += int(pulse) * int(operand)
+        return self._total
+
+    @property
+    def value(self) -> int:
+        return self._total
+
+    def consume(self, stream: TemporalBitstream, operand: int = 1) -> int:
+        """Drain a full stream; returns the final total."""
+        for pulse in stream.signed_pulses():
+            self.tick(pulse, operand)
+        return self._total

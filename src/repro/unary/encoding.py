@@ -1,0 +1,117 @@
+"""Deterministic unary codes: pure unary and 2s-unary.
+
+Terminology follows the tubGEMM papers: a *code* maps a signed integer to a
+:class:`~repro.unary.bitstream.TemporalBitstream` and back.  Codes are
+deterministic (unlike stochastic-computing bitstreams), so decoding is exact
+and accuracy is identical to binary arithmetic — a central claim of the
+paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.unary.bitstream import TemporalBitstream
+
+
+class UnaryCode(ABC):
+    """Interface for deterministic temporal-unary codes."""
+
+    #: Human-readable scheme name.
+    name: str = "abstract"
+
+    @abstractmethod
+    def encode_magnitude(self, magnitude: int) -> tuple[int, ...]:
+        """Pulse train for a non-negative magnitude."""
+
+    def encode(self, value: int) -> TemporalBitstream:
+        """Encode a signed integer."""
+        value = int(value)
+        return TemporalBitstream(
+            self.encode_magnitude(abs(value)), negative=value < 0
+        )
+
+    def decode(self, stream: TemporalBitstream) -> int:
+        """Recover the signed integer from a stream (code-independent since
+        pulses carry their values)."""
+        return stream.value
+
+    @abstractmethod
+    def cycles_for_magnitude(self, magnitude: int) -> int:
+        """Stream length for a given magnitude, without materialising it."""
+
+    def cycles_for(self, value: int) -> int:
+        return self.cycles_for_magnitude(abs(int(value)))
+
+    def cycles_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cycles_for` over an integer array."""
+        mags = np.abs(np.asarray(values, dtype=np.int64))
+        return self._cycles_array_from_magnitude(mags)
+
+    @abstractmethod
+    def _cycles_array_from_magnitude(self, mags: np.ndarray) -> np.ndarray:
+        ...
+
+
+class PureUnaryCode(UnaryCode):
+    """tuGEMM-style code: magnitude ``m`` -> ``m`` pulses of value 1."""
+
+    name = "unary"
+
+    def encode_magnitude(self, magnitude: int) -> tuple[int, ...]:
+        magnitude = int(magnitude)
+        if magnitude < 0:
+            raise EncodingError("magnitude must be non-negative")
+        return (1,) * magnitude
+
+    def cycles_for_magnitude(self, magnitude: int) -> int:
+        if magnitude < 0:
+            raise EncodingError("magnitude must be non-negative")
+        return int(magnitude)
+
+    def _cycles_array_from_magnitude(self, mags: np.ndarray) -> np.ndarray:
+        return mags
+
+
+class TwosUnaryCode(UnaryCode):
+    """2s-unary code (tubGEMM / Tempus Core).
+
+    A magnitude ``m`` becomes ``floor(m/2)`` pulses of value 2 followed by a
+    single value-1 pulse when ``m`` is odd, so the stream length is
+    ``ceil(m/2)`` — half the pure-unary latency.
+    """
+
+    name = "2s-unary"
+
+    def encode_magnitude(self, magnitude: int) -> tuple[int, ...]:
+        magnitude = int(magnitude)
+        if magnitude < 0:
+            raise EncodingError("magnitude must be non-negative")
+        return (2,) * (magnitude // 2) + ((1,) if magnitude % 2 else ())
+
+    def cycles_for_magnitude(self, magnitude: int) -> int:
+        if magnitude < 0:
+            raise EncodingError("magnitude must be non-negative")
+        return (int(magnitude) + 1) // 2
+
+    def _cycles_array_from_magnitude(self, mags: np.ndarray) -> np.ndarray:
+        return (mags + 1) // 2
+
+
+_CODES = {
+    "unary": PureUnaryCode(),
+    "2s-unary": TwosUnaryCode(),
+}
+
+
+def get_code(name: str) -> UnaryCode:
+    """Look up a code by name ("unary" or "2s-unary")."""
+    try:
+        return _CODES[name]
+    except KeyError as exc:
+        raise EncodingError(
+            f"unknown unary code {name!r}; expected one of {sorted(_CODES)}"
+        ) from exc

@@ -1,0 +1,98 @@
+"""Plain-text report rendering for the benchmark harness.
+
+The environment has no plotting stack, so "figures" are rendered as aligned
+ASCII tables, horizontal bar charts, and CSV files that carry the same series
+the paper plots.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def _render_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = ".4g",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        headers: column names.
+        rows: row values; floats are formatted with ``float_format``.
+        title: optional caption printed above the table.
+        float_format: format spec applied to float cells.
+    """
+    text_rows = [
+        [_render_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.rjust(widths[i]) for i, cell in enumerate(cells)
+        )
+
+    divider = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append(divider)
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    value_format: str = ".4g",
+) -> str:
+    """Render a horizontal bar chart — the textual stand-in for the paper's
+    bar figures (Figs. 4, 5, 7, 8)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    peak = max((abs(v) for v in values), default=0.0)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(abs(value) * scale))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {format(value, value_format)}"
+        )
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: "str | Path",
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write a CSV artifact next to a benchmark (series behind a figure)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.nvdla.config import CoreConfig
+from repro.utils.intrange import INT4, INT8
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return make_rng("tests")
+
+
+@pytest.fixture
+def small_config() -> CoreConfig:
+    """A small array that keeps cycle-accurate sims fast."""
+    return CoreConfig(k=2, n=4, precision=INT8)
+
+
+@pytest.fixture
+def int4_config() -> CoreConfig:
+    return CoreConfig(k=2, n=2, precision=INT4)

@@ -1,0 +1,96 @@
+"""Tests for the analytic latency model."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import (
+    average_burst_cycles,
+    burst_cycle_map,
+    layer_burst_cycles,
+    tile_max_magnitudes,
+    worst_case_cycles,
+)
+from repro.errors import DataflowError
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.dataflow import ConvShape
+from repro.unary.encoding import PureUnaryCode
+from repro.utils.intrange import INT2, INT4, INT8
+
+
+class TestWorstCase:
+    def test_paper_worst_cases(self):
+        assert worst_case_cycles(INT8) == 64
+        assert worst_case_cycles(INT4) == 4
+        assert worst_case_cycles(INT2) == 1
+
+    def test_pure_unary_doubles(self):
+        assert worst_case_cycles(INT8, PureUnaryCode()) == 128
+
+
+class TestTileMax:
+    def test_shape(self, rng):
+        weights = rng.integers(-128, 128, (20, 35, 3, 3))
+        maxima = tile_max_magnitudes(weights, 16, 16)
+        assert maxima.shape == (2, 3, 3, 3)
+
+    def test_padding_does_not_affect_max(self):
+        weights = np.full((3, 3, 1, 1), 5, dtype=np.int64)
+        maxima = tile_max_magnitudes(weights, 16, 16)
+        assert maxima.max() == 5
+
+    def test_known_values(self):
+        weights = np.zeros((4, 4, 1, 1), dtype=np.int64)
+        weights[0, 0] = -100
+        weights[3, 3] = 50
+        maxima = tile_max_magnitudes(weights, 2, 2)
+        assert maxima[0, 0, 0, 0] == 100
+        assert maxima[1, 1, 0, 0] == 50
+        assert maxima[0, 1, 0, 0] == 0
+
+    def test_bad_rank(self):
+        with pytest.raises(DataflowError):
+            tile_max_magnitudes(np.zeros((2, 2)), 2, 2)
+
+
+class TestBurstMap:
+    config = CoreConfig(k=2, n=2, precision=INT8)
+
+    def test_min_one_cycle(self):
+        weights = np.zeros((2, 2, 1, 1), dtype=np.int64)
+        cycles = burst_cycle_map(weights, self.config)
+        assert cycles.min() == 1
+
+    def test_overhead_added(self):
+        config = CoreConfig(k=2, n=2, burst_overhead=3)
+        weights = np.full((2, 2, 1, 1), 8, dtype=np.int64)
+        cycles = burst_cycle_map(weights, config)
+        assert cycles[0, 0, 0, 0] == 4 + 3
+
+    def test_halving(self):
+        weights = np.full((2, 2, 1, 1), 7, dtype=np.int64)
+        assert burst_cycle_map(weights, self.config)[0, 0, 0, 0] == 4
+
+
+class TestLayerCycles:
+    def test_scales_with_output_pixels(self, rng):
+        weights = rng.integers(-128, 128, (2, 2, 3, 3))
+        config = CoreConfig(k=2, n=2)
+        small = ConvShape(2, 4, 4, 2, 3, 3, padding=1)
+        large = ConvShape(2, 8, 8, 2, 3, 3, padding=1)
+        cycles_small = layer_burst_cycles(small, weights, config)
+        cycles_large = layer_burst_cycles(large, weights, config)
+        assert cycles_large == 4 * cycles_small
+
+    def test_average_matches_map(self, rng):
+        weights = rng.integers(-128, 128, (4, 4, 3, 3))
+        config = CoreConfig(k=2, n=2)
+        mean = average_burst_cycles(weights, config)
+        cycles = burst_cycle_map(weights, config)
+        assert mean == pytest.approx(cycles.mean())
+
+    def test_uniform_weights_bound(self, rng):
+        """Uniform random INT8 weights in a 16x16 tile: the burst is close
+        to the worst case (max of 256 uniform samples)."""
+        weights = INT8.random_array(rng, (16, 16, 1, 1))
+        mean = average_burst_cycles(weights, CoreConfig(k=16, n=16))
+        assert mean >= 60

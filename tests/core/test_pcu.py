@@ -1,0 +1,128 @@
+"""Tests for the PCU (multi-cycle burst handshake)."""
+
+import numpy as np
+
+from repro.core.pcu import PcuUnit
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.csc import AtomJob
+from repro.nvdla.dataflow import Atom
+from repro.sim.handshake import ValidReadyChannel
+
+
+def make_job(feature, weights, last=False, group=0):
+    k, n = np.asarray(weights).shape
+    atom = Atom(group, 0, 0, 0, 0, 0, n, 0, 0, True)
+    return AtomJob(
+        atom=atom,
+        feature=np.asarray(feature, dtype=np.int64),
+        weight_block=np.asarray(weights, dtype=np.int64),
+        last=last,
+    )
+
+
+def build_pcu(k=2, n=4, burst_overhead=0):
+    config = CoreConfig(k=k, n=n, burst_overhead=burst_overhead)
+    inp = ValidReadyChannel("in")
+    out = ValidReadyChannel("out")
+    return PcuUnit(config, inp, out), inp, out
+
+
+class TestBurstExecution:
+    def test_psums_exact(self, rng):
+        pcu, inp, out = build_pcu()
+        feature = rng.integers(-128, 128, 4)
+        weights = rng.integers(-128, 128, (2, 4))
+        inp.push(make_job(feature, weights, last=True))
+        for _ in range(70):
+            pcu.tick()
+            if out.valid:
+                break
+        packet = out.pop()
+        assert list(packet.psums) == list(weights @ feature)
+
+    def test_burst_length_is_max_magnitude_halved(self):
+        pcu, inp, out = build_pcu()
+        weights = np.zeros((2, 4), dtype=np.int64)
+        weights[1, 2] = -9  # ceil(9/2) = 5 cycles
+        inp.push(make_job(np.ones(4), weights))
+        ticks = 0
+        while not out.valid:
+            pcu.tick()
+            ticks += 1
+        # 1 accept + 5 burst + 1 forward
+        assert ticks == 7
+        assert pcu.burst_cycles == 5
+
+    def test_all_zero_tile_takes_one_cycle(self):
+        pcu, inp, out = build_pcu()
+        inp.push(make_job(np.ones(4), np.zeros((2, 4))))
+        while not out.valid:
+            pcu.tick()
+        assert pcu.burst_cycles == 1
+        assert out.pop().psums.sum() == 0
+
+    def test_burst_overhead_added(self):
+        pcu, inp, out = build_pcu(burst_overhead=2)
+        weights = np.full((2, 4), 2, dtype=np.int64)  # 1-cycle burst
+        inp.push(make_job(np.ones(4), weights))
+        while not out.valid:
+            pcu.tick()
+        assert pcu.burst_cycles == 3  # 2 overhead + 1 compute
+
+    def test_back_to_back_bursts_no_gap(self, rng):
+        """Burst period equals burst length: the output register decouples
+        the CACC handoff."""
+        pcu, inp, out = build_pcu()
+        weights = np.full((2, 4), 8, dtype=np.int64)  # 4-cycle bursts
+        total = 0
+        popped = 0
+        inp.push(make_job(np.ones(4), weights))
+        for _ in range(3 * 4 + 3):
+            pcu.tick()
+            total += 1
+            if inp.ready and popped < 2:
+                inp.push(make_job(np.ones(4), weights))
+                popped += 1
+            if out.valid:
+                out.pop()
+        assert pcu.bursts == 3
+        assert pcu.burst_cycles == 12  # 3 bursts x 4 cycles, no bubbles
+
+
+class TestBackpressure:
+    def test_stalls_when_cacc_not_ready(self):
+        pcu, inp, out = build_pcu()
+        weights = np.full((2, 4), 2, dtype=np.int64)
+        inp.push(make_job(np.ones(4), weights))
+        inp_job2 = make_job(2 * np.ones(4), weights)
+        for _ in range(3):
+            pcu.tick()
+        assert out.valid  # first psum waiting, never popped
+        inp.push(inp_job2)
+        for _ in range(5):
+            pcu.tick()  # second burst finishes but cannot forward
+        assert pcu.stall_cycles > 0
+        first = out.pop()
+        assert first.psums[0] == 8
+        pcu.tick()
+        assert out.valid  # second packet forwarded after the pop
+        assert out.pop().psums[0] == 16
+
+
+class TestStats:
+    def test_silent_lane_cycles(self):
+        pcu, inp, out = build_pcu()
+        weights = np.array([[0, 0, 0, 4], [0, 4, 0, 4]])
+        inp.push(make_job(np.ones(4), weights))
+        while not out.valid:
+            pcu.tick()
+        # 5 silent lanes x 2 burst cycles
+        assert pcu.silent_lane_cycles == 10
+
+    def test_reset(self):
+        pcu, inp, out = build_pcu()
+        inp.push(make_job(np.ones(4), np.ones((2, 4))))
+        pcu.tick()
+        pcu.reset()
+        assert pcu.bursts == 0
+        assert pcu.burst_cycles == 0

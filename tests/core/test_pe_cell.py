@@ -1,0 +1,87 @@
+"""Tests for the tub PE cell."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.pe_cell import TubPeCell
+
+
+class TestDotProduct:
+    def test_exact_dot_product(self, rng):
+        cell = TubPeCell(8)
+        feature = rng.integers(-128, 128, 8)
+        weights = rng.integers(-128, 128, 8)
+        cell.load_atom(feature, weights)
+        result, _cycles = cell.run_burst()
+        assert result == int(np.dot(feature, weights))
+
+    def test_many_random_atoms(self, rng):
+        cell = TubPeCell(4)
+        for _ in range(50):
+            feature = rng.integers(-128, 128, 4)
+            weights = rng.integers(-128, 128, 4)
+            cell.load_atom(feature, weights)
+            result, _ = cell.run_burst()
+            assert result == int(np.dot(feature, weights))
+
+
+class TestBurstLength:
+    def test_burst_is_max_lane_cycles(self, rng):
+        cell = TubPeCell(4)
+        burst = cell.load_atom(
+            np.array([1, 1, 1, 1]), np.array([2, -9, 4, 0])
+        )
+        assert burst == 5  # ceil(9/2)
+        _, cycles = cell.run_burst()
+        assert cycles == 5
+
+    def test_all_zero_weights_zero_burst(self):
+        cell = TubPeCell(4)
+        burst = cell.load_atom(np.ones(4), np.zeros(4))
+        assert burst == 0
+        assert not cell.busy
+
+    def test_reload_resets_accumulator(self, rng):
+        cell = TubPeCell(2)
+        cell.load_atom(np.array([1, 1]), np.array([2, 2]))
+        cell.run_burst()
+        cell.load_atom(np.array([1, 1]), np.array([4, 4]))
+        result, _ = cell.run_burst()
+        assert result == 8
+
+
+class TestSilentLanes:
+    def test_counts_zero_weights(self):
+        cell = TubPeCell(4)
+        cell.load_atom(np.ones(4), np.array([0, 3, 0, 1]))
+        assert cell.silent_lanes == 2
+
+    def test_no_lanes_silent(self):
+        cell = TubPeCell(2)
+        cell.load_atom(np.ones(2), np.array([1, 2]))
+        assert cell.silent_lanes == 0
+
+
+class TestValidation:
+    def test_bad_shapes_raise(self):
+        cell = TubPeCell(4)
+        with pytest.raises(SimulationError):
+            cell.load_atom(np.ones(3), np.ones(4))
+
+    def test_tick_before_load_raises(self):
+        with pytest.raises(SimulationError):
+            TubPeCell(2).tick()
+
+    def test_invalid_n_raises(self):
+        with pytest.raises(SimulationError):
+            TubPeCell(0)
+
+    def test_tree_sum_per_cycle(self):
+        """Per-cycle tree output is the sum of signed lane pulses times
+        activations."""
+        cell = TubPeCell(2)
+        cell.load_atom(np.array([3, 5]), np.array([2, -2]))
+        tree = cell.tick()
+        assert tree == 3 * 2 + 5 * (-2)
+        assert not cell.busy

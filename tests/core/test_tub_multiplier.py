@@ -1,0 +1,97 @@
+"""Tests for the tub multiplier lane."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.tub_multiplier import TubMultiplier, tub_multiply
+from repro.unary.encoding import PureUnaryCode
+from repro.utils.intrange import INT4, INT8
+
+
+class TestExactness:
+    def test_exhaustive_int4(self):
+        """Every INT4 operand pair multiplies exactly."""
+        lane = TubMultiplier()
+        for activation in range(-8, 8):
+            for weight in range(-8, 8):
+                lane.load(activation, weight)
+                assert lane.run_to_completion() == activation * weight
+
+    def test_int8_extremes(self):
+        lane = TubMultiplier()
+        for activation, weight in [
+            (-128, -128),
+            (-128, 127),
+            (127, -128),
+            (127, 127),
+        ]:
+            lane.load(activation, weight)
+            assert lane.run_to_completion() == activation * weight
+
+
+class TestLatency:
+    def test_cycles_is_ceil_half_weight(self):
+        lane = TubMultiplier()
+        assert lane.load(3, 7) == 4
+        assert lane.load(3, -8) == 4
+        assert lane.load(3, 0) == 0
+
+    def test_int8_worst_case_64(self):
+        lane = TubMultiplier()
+        assert lane.load(1, -128) == 64
+
+    def test_latency_independent_of_activation(self):
+        lane = TubMultiplier()
+        assert lane.load(127, 10) == lane.load(-1, 10) == 5
+
+
+class TestSilentLane:
+    def test_zero_weight_is_silent(self):
+        lane = TubMultiplier()
+        lane.load(99, 0)
+        assert lane.is_silent
+        assert not lane.busy
+        assert lane.product == 0
+
+    def test_nonzero_weight_not_silent(self):
+        lane = TubMultiplier()
+        lane.load(99, 1)
+        assert not lane.is_silent
+
+
+class TestProtocol:
+    def test_tick_before_load_raises(self):
+        with pytest.raises(SimulationError):
+            TubMultiplier().tick()
+
+    def test_idle_tick_contributes_zero(self):
+        lane = TubMultiplier()
+        lane.load(5, 2)
+        lane.run_to_completion()
+        assert lane.tick() == 0
+        assert lane.product == 10
+
+    def test_pure_unary_code_also_exact(self):
+        lane = TubMultiplier(PureUnaryCode())
+        assert lane.load(-7, 5) == 5
+        assert lane.run_to_completion() == -35
+
+
+class TestTrace:
+    def test_trace_records_every_cycle(self):
+        trace = tub_multiply(5, 6)
+        assert trace.cycles == 3
+        assert trace.trace.series("accumulator") == [10, 20, 30]
+
+    def test_trace_zero_weight(self):
+        trace = tub_multiply(5, 0)
+        assert trace.product == 0
+        assert trace.cycles == 0
+
+    def test_range_check(self):
+        with pytest.raises(Exception):
+            tub_multiply(100, 1, spec=INT4)
+
+    def test_render_mentions_operands(self):
+        text = tub_multiply(3, -4, spec=INT4).render()
+        assert "a=3" in text and "w=-4" in text

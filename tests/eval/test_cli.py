@@ -1,0 +1,26 @@
+"""Tests for the python -m repro CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "table2" in out
+
+    def test_run_quick_experiment(self, capsys, tmp_path):
+        code = main(["run", "fig2", "--quick", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tub multiplier" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,74 @@
+"""Tests for the experiment registry (quick mode)."""
+
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_covered(self):
+        """Every table and figure of the evaluation has a driver."""
+        required = {
+            "fig1", "table1", "fig2", "fig3", "table2", "fig4", "fig5",
+            "fig6", "table3", "fig7", "fig8", "secVC", "secVD", "fig9",
+        }
+        assert required <= set(EXPERIMENTS)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestQuickDrivers:
+    """Each driver must run in quick mode and produce a coherent report.
+    (Full-scale runs live in benchmarks/.)"""
+
+    @pytest.mark.parametrize(
+        "experiment_id",
+        ["fig2", "fig3", "table2", "fig4", "secVD", "gemm", "ablation"],
+    )
+    def test_driver_renders(self, experiment_id, tmp_path):
+        result = run_experiment(
+            experiment_id, quick=True, artifact_dir=tmp_path
+        )
+        assert result.experiment_id == experiment_id
+        assert result.rows
+        text = result.render()
+        assert result.title in text
+
+    def test_fig2_products_exact(self, tmp_path):
+        result = run_experiment("fig2", quick=True, artifact_dir=tmp_path)
+        assert all(row[4] == "yes" for row in result.rows)
+
+    def test_table2_tub_always_smaller(self, tmp_path):
+        result = run_experiment("table2", quick=True, artifact_dir=tmp_path)
+        for row in result.rows:
+            assert row[3] < row[2]  # tub area < binary area
+            assert row[6] < row[5]  # tub power < binary power
+
+    def test_fig4_reductions_positive(self, tmp_path):
+        result = run_experiment("fig4", quick=True, artifact_dir=tmp_path)
+        for row in result.rows:
+            assert row[3] > 0  # area reduction %
+            assert row[6] > 0  # power reduction %
+
+    def test_secvd_improvement_above_one(self, tmp_path):
+        result = run_experiment("secVD", quick=True, artifact_dir=tmp_path)
+        for row in result.rows:
+            assert row[3] > 1.0
+
+    def test_artifacts_written(self, tmp_path):
+        result = run_experiment("table2", quick=True, artifact_dir=tmp_path)
+        assert result.artifacts
+        for artifact in result.artifacts:
+            assert artifact.exists()
+
+    def test_fig6_layouts_render(self, tmp_path):
+        result = run_experiment("fig6", quick=True, artifact_dir=tmp_path)
+        assert "CMAC" in result.extra_text
+        assert "PCU" in result.extra_text
+
+    def test_fig9_projection_rows(self, tmp_path):
+        result = run_experiment("fig9", quick=True, artifact_dir=tmp_path)
+        projected = [row for row in result.rows if row[3] == "projected"]
+        assert len(projected) == 2

@@ -1,0 +1,37 @@
+"""Tests for comparison reporting."""
+
+import pytest
+
+from repro.eval.report import Comparison, comparison_table
+
+
+class TestComparison:
+    def test_ratio(self):
+        assert Comparison("m", 2.0, 3.0).ratio == pytest.approx(1.5)
+
+    def test_no_paper_value(self):
+        comparison = Comparison("m", None, 3.0)
+        assert comparison.ratio is None
+        assert comparison.within_factor(1.1)
+
+    def test_within_factor(self):
+        assert Comparison("m", 10.0, 12.0).within_factor(1.5)
+        assert not Comparison("m", 10.0, 30.0).within_factor(1.5)
+        assert Comparison("m", 10.0, 5.0).within_factor(2.0)
+
+    def test_zero_paper_value(self):
+        assert Comparison("m", 0.0, 1.0).ratio is None
+
+
+class TestTable:
+    def test_render(self):
+        text = comparison_table(
+            [
+                Comparison("area", 0.09, 0.12, "mm2"),
+                Comparison("unreported", None, 5.0),
+            ],
+            title="cmp",
+        )
+        assert "cmp" in text
+        assert "1.33x" in text
+        assert "-" in text

@@ -1,0 +1,52 @@
+"""Tests for iso-area throughput math."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.eval.throughput import (
+    fit_improvement_scaling,
+    iso_area_improvement,
+    project_improvement,
+)
+
+
+class TestIsoArea:
+    def test_ratio(self):
+        assert iso_area_improvement(0.09, 0.018) == pytest.approx(5.0)
+
+    def test_paper_16x16_int8_value(self):
+        """Fig. 4's areas imply Sec. V-D's 5x claim."""
+        assert iso_area_improvement(0.09, 0.018) == pytest.approx(5.0)
+
+    def test_invalid_areas(self):
+        with pytest.raises(SynthesisError):
+            iso_area_improvement(0.0, 1.0)
+
+
+class TestScalingFit:
+    def test_perfect_power_law_recovered(self):
+        n_values = [16, 64, 256, 1024]
+        improvements = [2.0 * n**0.25 for n in n_values]
+        fit = fit_improvement_scaling(n_values, improvements)
+        assert fit.exponent == pytest.approx(0.25, abs=1e-6)
+        assert fit.predict(4096) == pytest.approx(2.0 * 4096**0.25)
+
+    def test_flat_trend_projects_flat(self):
+        projected = project_improvement([16, 256], [3.0, 3.0], 65536)
+        assert projected == pytest.approx(3.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(SynthesisError):
+            fit_improvement_scaling([16], [2.0])
+
+    def test_positive_values_required(self):
+        with pytest.raises(SynthesisError):
+            fit_improvement_scaling([16, 32], [1.0, -1.0])
+
+    def test_paper_style_projection(self):
+        """A growing trend like the paper's Table II ratios projects to a
+        large n=65536 improvement."""
+        n_values = [16, 256, 1024]
+        ratios = [5.1, 11.4, 12.2]  # paper INT8 area ratios
+        projected = project_improvement(n_values, ratios, 65536)
+        assert 15 < projected < 60  # paper reports 26x

@@ -1,0 +1,92 @@
+"""Tests for the GEMM baseline engines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataflowError
+from repro.gemm import BinaryGemm, TubGemm, TuGemm
+from repro.utils.intrange import INT4, INT8
+
+
+class TestExactness:
+    @pytest.mark.parametrize("engine_cls", [BinaryGemm, TuGemm, TubGemm])
+    def test_output_exact(self, engine_cls, rng):
+        a = rng.integers(-128, 128, (5, 7))
+        b = rng.integers(-128, 128, (7, 4))
+        result = engine_cls(INT8).multiply(a, b)
+        assert np.array_equal(result.output, a @ b)
+
+    @pytest.mark.parametrize("engine_cls", [BinaryGemm, TuGemm, TubGemm])
+    def test_int4_range_enforced(self, engine_cls):
+        engine = engine_cls(INT4)
+        with pytest.raises(Exception):
+            engine.multiply(np.array([[100]]), np.array([[1]]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataflowError):
+            BinaryGemm().multiply(np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DataflowError):
+            BinaryGemm().multiply(np.zeros(3), np.zeros((3, 2)))
+
+
+class TestLatencyModels:
+    def test_binary_latency_is_common_dim(self, rng):
+        a = rng.integers(-8, 8, (3, 9))
+        b = rng.integers(-8, 8, (9, 3))
+        result = BinaryGemm(INT4).multiply(a, b)
+        assert result.cycles == 9 + 1
+
+    def test_tub_latency_data_dependent(self):
+        a = np.ones((2, 2), dtype=np.int64)
+        small = np.full((2, 2), 2, dtype=np.int64)
+        large = np.full((2, 2), 127, dtype=np.int64)
+        engine = TubGemm(INT8)
+        assert (
+            engine.multiply(a, small).cycles
+            < engine.multiply(a, large).cycles
+        )
+
+    def test_tub_step_is_half_max_magnitude(self):
+        engine = TubGemm(INT8)
+        assert engine.step_cycles(np.array([3, -9, 4])) == 5
+
+    def test_tu_step_is_product_of_maxima(self):
+        engine = TuGemm(INT8)
+        assert engine.step_cycles(np.array([3, -4]), np.array([5, 2])) == 20
+
+    def test_tu_slower_than_tub(self, rng):
+        a = rng.integers(-128, 128, (4, 6))
+        b = rng.integers(-128, 128, (6, 4))
+        tu = TuGemm(INT8).multiply(a, b).cycles
+        tub = TubGemm(INT8).multiply(a, b).cycles
+        assert tu > 10 * tub
+
+    def test_zero_step_still_costs_one_cycle(self):
+        a = np.zeros((2, 3), dtype=np.int64)
+        b = np.zeros((3, 2), dtype=np.int64)
+        assert TubGemm(INT8).multiply(a, b).cycles == 3
+        assert TuGemm(INT8).multiply(a, b).cycles == 3
+
+
+class TestWorstCases:
+    def test_binary_worst_case(self):
+        assert BinaryGemm(INT8).worst_case_cycles(10) == 11
+
+    def test_tub_worst_case_matches_tempus(self):
+        """tubGEMM's per-step worst case is the same 2^(w-2) bound Tempus
+        Core inherits: 64 cycles for INT8."""
+        assert TubGemm(INT8).worst_case_cycles(1) == 64
+        assert TubGemm(INT4).worst_case_cycles(1) == 4
+
+    def test_tu_worst_case_quadratic(self):
+        assert TuGemm(INT8).worst_case_cycles(1) == 128 * 128
+
+    def test_metrics(self, rng):
+        a = rng.integers(-8, 8, (3, 4))
+        b = rng.integers(-8, 8, (4, 5))
+        result = BinaryGemm(INT4).multiply(a, b)
+        assert result.macs == 3 * 4 * 5
+        assert result.pe_count == 15
+        assert result.macs_per_cycle > 0

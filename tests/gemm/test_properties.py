@@ -1,0 +1,52 @@
+"""Property-based tests for the GEMM engines."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.gemm import BinaryGemm, TubGemm, TuGemm
+from repro.utils.intrange import INT8
+
+int8 = st.integers(min_value=-128, max_value=127)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.data(),
+    m=st.integers(min_value=1, max_value=5),
+    n=st.integers(min_value=1, max_value=5),
+    p=st.integers(min_value=1, max_value=5),
+)
+def test_all_engines_agree_with_numpy(data, m, n, p):
+    a = data.draw(arrays(np.int64, (m, n), elements=int8))
+    b = data.draw(arrays(np.int64, (n, p), elements=int8))
+    expected = a @ b
+    for engine in (BinaryGemm(INT8), TuGemm(INT8), TubGemm(INT8)):
+        assert np.array_equal(engine.multiply(a, b).output, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), n=st.integers(min_value=1, max_value=6))
+def test_latency_ordering_and_bounds(data, n):
+    """binary <= tub <= tu, and every engine respects its worst case."""
+    a = data.draw(arrays(np.int64, (3, n), elements=int8))
+    b = data.draw(arrays(np.int64, (n, 3), elements=int8))
+    binary = BinaryGemm(INT8).multiply(a, b).cycles
+    tub = TubGemm(INT8).multiply(a, b).cycles
+    tu = TuGemm(INT8).multiply(a, b).cycles
+    assert binary <= tub + 1  # binary has a pipeline stage
+    assert tub <= tu or tu == n  # tu >= tub except all-(0/1) operands
+    assert tub <= TubGemm(INT8).worst_case_cycles(n)
+    assert tu <= TuGemm(INT8).worst_case_cycles(n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), n=st.integers(min_value=1, max_value=6))
+def test_tub_latency_is_sum_of_step_maxima(data, n):
+    b = data.draw(arrays(np.int64, (n, 3), elements=int8))
+    a = np.ones((2, n), dtype=np.int64)
+    engine = TubGemm(INT8)
+    expected = sum(
+        max(1, (int(np.abs(b[j]).max()) + 1) // 2) for j in range(n)
+    )
+    assert engine.multiply(a, b).cycles == expected

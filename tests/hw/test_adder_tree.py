@@ -1,0 +1,69 @@
+"""Tests for the carry-save adder tree model."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hw.adder_tree import (
+    adder_tree,
+    csa_stage_count,
+    tree_output_width,
+)
+from repro.hw.library import NANGATE45
+
+
+class TestOutputWidth:
+    def test_single_input_passthrough(self):
+        assert tree_output_width(1, 8) == 8
+
+    def test_sixteen_inputs(self):
+        assert tree_output_width(16, 16) == 20
+
+    def test_non_power_of_two(self):
+        assert tree_output_width(3, 8) == 10
+
+    def test_invalid(self):
+        with pytest.raises(SynthesisError):
+            tree_output_width(0, 8)
+
+
+class TestStageCount:
+    def test_two_inputs_no_stage(self):
+        assert csa_stage_count(2) == 0
+
+    def test_three_inputs_one_stage(self):
+        assert csa_stage_count(3) == 1
+
+    def test_monotone_in_inputs(self):
+        counts = [csa_stage_count(n) for n in range(2, 100)]
+        assert counts == sorted(counts)
+
+    def test_logarithmic_growth(self):
+        assert csa_stage_count(1024) < 20
+
+
+class TestAdderTree:
+    def test_fa_count_formula(self):
+        """Reducing n operands to 2 takes n-2 compressor rows of the
+        output width, plus the final CPA."""
+        tree = adder_tree(16, 16)
+        width = tree_output_width(16, 16)
+        assert tree.cells["FA"] == (16 - 2) * width + width - 1
+
+    def test_single_input_is_wiring(self):
+        tree = adder_tree(1, 8)
+        assert tree.cells.get("FA", 0) == 0
+
+    def test_area_scales_superlinearly_with_inputs(self):
+        small = adder_tree(4, 8).area_um2(NANGATE45)
+        large = adder_tree(64, 8).area_um2(NANGATE45)
+        assert large > 10 * small
+
+    def test_depth_fits_250mhz_even_at_1024(self):
+        assert adder_tree(1024, 10).depth_ps < 4000.0
+
+    def test_activity_annotation(self):
+        tree = adder_tree(4, 8, activity=0.07)
+        (row,) = (
+            r for r in tree.iter_effective() if r[0] == "FA"
+        )
+        assert row[2] == 0.07

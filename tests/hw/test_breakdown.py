@@ -1,0 +1,64 @@
+"""Tests for the per-module breakdown report."""
+
+import pytest
+
+from repro.core.hwmodel import tub_pe_cell_netlist
+from repro.hw.breakdown import (
+    lane_power_share,
+    module_breakdown,
+    render_breakdown,
+)
+from repro.hw.synthesis import synthesize
+from repro.nvdla.hwmodel import binary_pe_cell_netlist
+from repro.utils.intrange import INT8
+
+
+class TestBreakdown:
+    def test_shares_sum_to_synthesis_totals(self):
+        cell = binary_pe_cell_netlist(INT8, 16)
+        shares = module_breakdown(cell)
+        totals = synthesize(cell)
+        assert sum(s.area_um2 for s in shares) == pytest.approx(
+            totals.area_um2
+        )
+        assert sum(s.total_power_mw for s in shares) == pytest.approx(
+            totals.total_power_mw, rel=1e-9
+        )
+
+    def test_multipliers_dominate_binary_cell(self):
+        shares = module_breakdown(binary_pe_cell_netlist(INT8, 16))
+        assert shares[0].name == "mult"
+        assert shares[0].area_um2 > 0.5 * sum(
+            s.area_um2 for s in shares
+        )
+
+    def test_sorted_by_area(self):
+        shares = module_breakdown(tub_pe_cell_netlist(INT8, 16))
+        areas = [s.area_um2 for s in shares]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_render_has_percentages(self):
+        shares = module_breakdown(tub_pe_cell_netlist(INT8, 16))
+        text = render_breakdown(shares, title="tub cell")
+        assert text.startswith("tub cell")
+        assert "%" in text
+
+    def test_instance_counts(self):
+        shares = module_breakdown(tub_pe_cell_netlist(INT8, 16))
+        encoder = next(s for s in shares if s.name == "tu_enc")
+        assert encoder.instances == 16
+
+
+class TestLanePowerShare:
+    def test_share_in_plausible_band(self):
+        """The energy model's silent-PE adjustment uses this share; the
+        per-lane hardware (count regs + encoders + gating) dominates a tub
+        cell but never accounts for all of it (the tree and accumulator
+        are shared)."""
+        share = lane_power_share(tub_pe_cell_netlist(INT8, 16))
+        assert 0.40 < share < 0.90
+
+    def test_share_stable_across_n(self):
+        small = lane_power_share(tub_pe_cell_netlist(INT8, 16))
+        large = lane_power_share(tub_pe_cell_netlist(INT8, 256))
+        assert abs(small - large) < 0.2

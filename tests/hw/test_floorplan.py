@@ -1,0 +1,37 @@
+"""Tests for floorplanning."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hw.floorplan import make_floorplan
+
+
+class TestFloorplan:
+    def test_utilization_achieved(self):
+        plan = make_floorplan(70_000.0, utilization=0.70)
+        assert plan.utilization == pytest.approx(0.70)
+        assert plan.die_area_um2 == pytest.approx(100_000.0)
+
+    def test_square_by_default(self):
+        plan = make_floorplan(49_000.0)
+        assert plan.die_width_um == pytest.approx(plan.die_height_um)
+
+    def test_aspect_ratio(self):
+        plan = make_floorplan(50_000.0, aspect_ratio=2.0)
+        assert plan.die_width_um == pytest.approx(2 * plan.die_height_um)
+
+    def test_area_mm2(self):
+        plan = make_floorplan(700_000.0, utilization=0.70)
+        assert plan.die_area_mm2 == pytest.approx(1.0)
+
+    def test_empty_design_raises(self):
+        with pytest.raises(SynthesisError):
+            make_floorplan(0.0)
+
+    def test_bad_utilization_raises(self):
+        with pytest.raises(SynthesisError):
+            make_floorplan(100.0, utilization=1.5)
+
+    def test_bad_aspect_raises(self):
+        with pytest.raises(SynthesisError):
+            make_floorplan(100.0, aspect_ratio=-1.0)

@@ -1,0 +1,45 @@
+"""Tests for the cell library."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hw.cells import Cell
+from repro.hw.library import NANGATE45
+
+
+class TestNangate45:
+    def test_core_cells_present(self):
+        for name in ("INV", "NAND2", "XOR2", "MUX2", "HA", "FA", "DFF"):
+            assert name in NANGATE45
+
+    def test_missing_cell_raises(self):
+        with pytest.raises(SynthesisError):
+            NANGATE45["SRAM"]
+
+    def test_dff_is_sequential_with_clock_energy(self):
+        dff = NANGATE45["DFF"]
+        assert dff.sequential
+        assert dff.clk_energy_fj > 0
+
+    def test_fa_bigger_than_ha(self):
+        assert NANGATE45["FA"].area_um2 > NANGATE45["HA"].area_um2
+
+    def test_inverter_is_smallest(self):
+        inv = NANGATE45["INV"].area_um2
+        assert all(
+            cell.area_um2 >= inv for cell in NANGATE45.cells.values()
+        )
+
+    def test_nangate_inv_area(self):
+        # The published NanGate45 INV_X1 footprint.
+        assert NANGATE45["INV"].area_um2 == pytest.approx(0.532)
+
+
+class TestCellValidation:
+    def test_nonpositive_area_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("BAD", 0.0, 1.0, 1.0, 10.0)
+
+    def test_sequential_needs_clock_energy(self):
+        with pytest.raises(ValueError):
+            Cell("BADFF", 1.0, 1.0, 1.0, 10.0, sequential=True)

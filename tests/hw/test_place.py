@@ -1,0 +1,86 @@
+"""Tests for cluster placement."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hw.floorplan import make_floorplan
+from repro.hw.library import NANGATE45
+from repro.hw.netlist import Netlist
+from repro.hw.place import extract_clusters, place_clusters
+
+
+def build_unit(cells: int = 4) -> Netlist:
+    unit = Netlist("unit")
+    child = Netlist("pe").add("FA", 50)
+    unit.add_child(child, cells)
+    unit.add_child(Netlist("regs").add("DFF", 32))
+    unit.connect("pe", "regs", 16)
+    unit.connect("regs", "TOP", 8)
+    return unit
+
+
+class TestExtractClusters:
+    def test_instances_expanded(self):
+        clusters, edges = extract_clusters(build_unit(4), NANGATE45)
+        names = [c.name for c in clusters]
+        assert "pe#0" in names and "pe#3" in names
+        assert "regs" in names
+        assert "TOP" in names
+
+    def test_broadcast_edges(self):
+        clusters, edges = extract_clusters(build_unit(4), NANGATE45)
+        pe_to_regs = [e for e in edges if e.bits == 16]
+        assert len(pe_to_regs) == 4  # one per pe instance
+
+    def test_unknown_child_in_connection_raises(self):
+        unit = Netlist("u").connect("ghost", "TOP", 1)
+        with pytest.raises(SynthesisError):
+            extract_clusters(unit, NANGATE45)
+
+    def test_cluster_area_matches_child(self):
+        clusters, _ = extract_clusters(build_unit(1), NANGATE45)
+        pe = next(c for c in clusters if c.name == "pe")
+        assert pe.area_um2 == pytest.approx(50 * NANGATE45["FA"].area_um2)
+
+
+class TestPlacement:
+    def _place(self, cells=6):
+        unit = build_unit(cells)
+        plan = make_floorplan(unit.area_um2(NANGATE45), 0.70)
+        return place_clusters(unit, NANGATE45, plan), plan
+
+    def test_all_clusters_inside_die(self):
+        placement, plan = self._place()
+        for cluster in placement.clusters:
+            assert 0 <= cluster.x_um <= plan.die_width_um + 1e-9
+            assert 0 <= cluster.y_um <= plan.die_height_um + 1e-9
+
+    def test_wirelength_positive(self):
+        placement, _ = self._place()
+        assert placement.wirelength_um() > 0
+
+    def test_deterministic_for_seed(self):
+        unit = build_unit()
+        plan = make_floorplan(unit.area_um2(NANGATE45), 0.70)
+        a = place_clusters(unit, NANGATE45, plan, seed=3).wirelength_um()
+        b = place_clusters(unit, NANGATE45, plan, seed=3).wirelength_um()
+        assert a == b
+
+    def test_refinement_not_worse_than_legalized(self):
+        """The swap pass only accepts improving moves."""
+        unit = build_unit(8)
+        plan = make_floorplan(unit.area_um2(NANGATE45), 0.70)
+        refined = place_clusters(
+            unit, NANGATE45, plan, refine_passes=64
+        ).wirelength_um()
+        unrefined = place_clusters(
+            unit, NANGATE45, plan, refine_passes=0
+        ).wirelength_um()
+        assert refined <= unrefined + 1e-9
+
+    def test_single_cluster_centered(self):
+        solo = Netlist("solo").add("INV", 10)
+        plan = make_floorplan(solo.area_um2(NANGATE45))
+        placement = place_clusters(solo, NANGATE45, plan)
+        (cluster,) = placement.clusters
+        assert cluster.x_um == pytest.approx(plan.die_width_um / 2)

@@ -1,0 +1,44 @@
+"""Tests for routing estimation."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hw.floorplan import make_floorplan
+from repro.hw.library import NANGATE45
+from repro.hw.route import estimate_routing
+
+
+class TestRouting:
+    plan = make_floorplan(10_000.0, 0.70)
+
+    def test_detour_applied(self):
+        estimate = estimate_routing(1000.0, self.plan, NANGATE45)
+        assert estimate.global_wirelength_um > 1000.0
+
+    def test_local_wire_from_cell_area(self):
+        estimate = estimate_routing(0.0, self.plan, NANGATE45)
+        assert estimate.local_wirelength_um > 0
+
+    def test_wire_power_scales_with_wirelength(self):
+        short = estimate_routing(100.0, self.plan, NANGATE45)
+        long = estimate_routing(100_000.0, self.plan, NANGATE45)
+        assert long.wire_power_mw > short.wire_power_mw
+
+    def test_wire_power_scales_with_clock(self):
+        slow = estimate_routing(1000.0, self.plan, NANGATE45, clock_mhz=125)
+        fast = estimate_routing(1000.0, self.plan, NANGATE45, clock_mhz=250)
+        assert fast.wire_power_mw == pytest.approx(2 * slow.wire_power_mw)
+
+    def test_congestion_below_one_for_reasonable_design(self):
+        estimate = estimate_routing(1000.0, self.plan, NANGATE45)
+        assert estimate.congestion < 1.0
+
+    def test_negative_wirelength_raises(self):
+        with pytest.raises(SynthesisError):
+            estimate_routing(-1.0, self.plan, NANGATE45)
+
+    def test_total_wirelength(self):
+        estimate = estimate_routing(1000.0, self.plan, NANGATE45)
+        assert estimate.total_wirelength_um == pytest.approx(
+            estimate.global_wirelength_um + estimate.local_wirelength_um
+        )

@@ -1,0 +1,83 @@
+"""Tests for the synthesis estimator."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hw.components import register_bank
+from repro.hw.netlist import Netlist
+from repro.hw.synthesis import synthesize
+from repro.hw.wallace import wallace_multiplier
+
+
+class TestAreaAndCells:
+    def test_area_matches_netlist(self):
+        block = wallace_multiplier(8)
+        result = synthesize(block)
+        assert result.area_um2 == pytest.approx(
+            block.area_um2(__import__("repro.hw.library",
+                                      fromlist=["NANGATE45"]).NANGATE45)
+        )
+
+    def test_cell_histogram_reported(self):
+        result = synthesize(wallace_multiplier(4))
+        assert result.cells_by_type["AND2"] == 16
+
+    def test_area_mm2_conversion(self):
+        result = synthesize(wallace_multiplier(8))
+        assert result.area_mm2 == pytest.approx(result.area_um2 * 1e-6)
+
+
+class TestPower:
+    def test_power_scales_with_activity(self):
+        low = Netlist("low", activity=0.05).add("FA", 100)
+        high = Netlist("high", activity=0.50).add("FA", 100)
+        assert (
+            synthesize(high).dynamic_power_mw
+            > 5 * synthesize(low).dynamic_power_mw
+        )
+
+    def test_registers_burn_clock_power_even_when_idle(self):
+        """DFF clock-pin energy is charged at zero data activity — the
+        effect that keeps register-heavy units from huge power savings."""
+        bank = register_bank(100, reg_activity=0.0)
+        result = synthesize(bank)
+        assert result.dynamic_power_mw > 0
+
+    def test_leakage_scales_with_cell_count(self):
+        small = synthesize(Netlist("s").add("INV", 10))
+        large = synthesize(Netlist("l").add("INV", 10_000))
+        ratio = large.leakage_power_mw / small.leakage_power_mw
+        assert ratio == pytest.approx(1000, rel=1e-6)
+
+    def test_power_scales_with_frequency(self):
+        block = wallace_multiplier(8)
+        slow = synthesize(block, clock_mhz=125)
+        fast = synthesize(block, clock_mhz=250)
+        assert fast.dynamic_power_mw == pytest.approx(
+            2 * slow.dynamic_power_mw
+        )
+        assert fast.leakage_power_mw == pytest.approx(
+            slow.leakage_power_mw
+        )
+
+    def test_total_is_dynamic_plus_leakage(self):
+        result = synthesize(wallace_multiplier(8))
+        assert result.total_power_mw == pytest.approx(
+            result.dynamic_power_mw + result.leakage_power_mw
+        )
+
+
+class TestTiming:
+    def test_meets_timing_at_250mhz(self):
+        result = synthesize(wallace_multiplier(8), clock_mhz=250)
+        assert result.clock_period_ns == pytest.approx(4.0)
+        assert result.meets_timing
+        assert result.slack_ns > 0
+
+    def test_fails_timing_at_absurd_clock(self):
+        result = synthesize(wallace_multiplier(8), clock_mhz=5000)
+        assert not result.meets_timing
+
+    def test_invalid_clock_raises(self):
+        with pytest.raises(SynthesisError):
+            synthesize(wallace_multiplier(4), clock_mhz=0)

@@ -1,0 +1,38 @@
+"""Integration: every registered experiment driver runs end to end.
+
+The fast driver tests in ``tests/eval/test_experiments.py`` cover the
+cheap experiments; this sweep (marked slow) executes *all* of them in
+quick mode — the guarantee that every table/figure of the paper stays
+regenerable as the library evolves.
+"""
+
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs_and_renders(experiment_id, tmp_path):
+    result = run_experiment(
+        experiment_id, quick=True, artifact_dir=tmp_path
+    )
+    assert result.experiment_id == experiment_id
+    assert result.rows, f"{experiment_id} produced no rows"
+    report = result.render()
+    assert result.title in report
+    # every advertised artifact must exist on disk
+    for artifact in result.artifacts:
+        assert artifact.exists(), f"{experiment_id}: missing {artifact}"
+
+
+@pytest.mark.slow
+def test_every_comparison_has_a_direction(tmp_path):
+    """Paper-vs-measured comparisons must be numeric and positive — a
+    regression here means a driver silently lost its measurement."""
+    for experiment_id in ("table2", "fig4", "secVD"):
+        result = run_experiment(
+            experiment_id, quick=True, artifact_dir=tmp_path
+        )
+        for comparison in result.comparisons:
+            assert comparison.measured > 0, comparison.metric

@@ -1,0 +1,78 @@
+"""Integration: profiling -> latency -> energy, and model inference
+through the cores."""
+
+import numpy as np
+import pytest
+
+from repro.core.tempus_core import TempusCore
+from repro.models.weights import load_quantized_model
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.conv_core import ConvolutionCore
+from repro.profiling.energy import workload_energy
+from repro.profiling.latency import model_workload_latency
+from repro.profiling.magnitude import profile_model_magnitudes
+from repro.utils.intrange import INT8
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return load_quantized_model("resnet18", scale=0.1)
+
+
+class TestProfilingPipeline:
+    def test_profile_to_energy(self, tiny_model):
+        """The full Sec. V-C pipeline holds together on a scaled model."""
+        profile = profile_model_magnitudes(tiny_model)
+        energy = workload_energy(
+            tiny_model.name,
+            CoreConfig(16, 16, INT8),
+            burst_cycles=profile.mean_latency_cycles(),
+        )
+        assert energy.tub_energy_pj > energy.binary_energy_pj
+        assert energy.energy_gap > 1
+
+    def test_workload_latency_consistent_with_profile(self, tiny_model):
+        """Whole-model mean burst length is in the same band as the
+        tile-profile mean (they weight tiles differently)."""
+        config = CoreConfig(k=16, n=16)
+        profile = profile_model_magnitudes(tiny_model)
+        workload = model_workload_latency(tiny_model, config)
+        ratio = workload.mean_burst_cycles() / max(
+            profile.mean_latency_cycles(), 1e-9
+        )
+        assert 0.4 < ratio < 2.5
+
+
+class TestRealLayerInference:
+    def test_synthesized_layer_through_both_cores(self, tiny_model):
+        """Take an actual synthesized conv layer's weights and run them
+        through both engines on a random activation tile."""
+        layer, codes = next(
+            (layer, codes)
+            for layer, codes in tiny_model.iter_weight_tensors()
+            if layer.groups == 1 and layer.kernel_h == 3
+        )
+        rng = make_rng("e2e-layer")
+        config = CoreConfig(k=4, n=8)
+        kernels = min(4, codes.shape[0])
+        channels = min(8, codes.shape[1])
+        weights = codes[:kernels, :channels]
+        activations = INT8.random_array(rng, (channels, 6, 6))
+        binary = ConvolutionCore(config).run_layer(
+            activations, weights, stride=1, padding=1
+        )
+        tempus = TempusCore(config).run_layer(
+            activations, weights, stride=1, padding=1
+        )
+        assert np.array_equal(binary.output, tempus.output)
+        # trained-ish weights are far from worst case
+        assert tempus.cycles < binary.cycles * 64
+
+    def test_sparsity_speedup_visible_on_model_weights(self, tiny_model):
+        """Synthesized (bell-shaped) weights run bursts well below the
+        worst case — the paper's dynamic-value-sparsity claim."""
+        workload = model_workload_latency(
+            tiny_model, CoreConfig(k=16, n=16)
+        )
+        assert workload.mean_burst_cycles() < 50

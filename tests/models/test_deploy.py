@@ -1,0 +1,77 @@
+"""Tests for deploying the trained CNN onto the simulated accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.models.accuracy import SmallCnn, make_synthetic_dataset
+from repro.models.deploy import compile_small_cnn, evaluate_on_accelerator
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.pipeline import InferencePipeline
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_synthetic_dataset(train_per_class=40, test_per_class=10)
+    model = SmallCnn()
+    model.train(dataset, epochs=5)
+    compiled = compile_small_cnn(model, dataset, precision=8)
+    return dataset, model, compiled
+
+
+class TestCompilation:
+    def test_stage_structure(self, setup):
+        _, _, compiled = setup
+        kinds = [type(s).__name__ for s in compiled.stages]
+        assert kinds == [
+            "ConvStage", "PoolStage", "ConvStage", "PoolStage", "ConvStage",
+        ]
+
+    def test_weights_quantized_in_range(self, setup):
+        _, _, compiled = setup
+        for stage in compiled.stages:
+            if hasattr(stage, "weights"):
+                assert np.abs(stage.weights).max() <= 128
+
+    def test_fc_lowered_to_conv(self, setup):
+        _, _, compiled = setup
+        fc = compiled.stages[-1]
+        assert fc.weights.shape == (10, 16, 3, 3)
+
+    def test_output_shape_is_logits(self, setup):
+        dataset, _, compiled = setup
+        pipeline = InferencePipeline(
+            CoreConfig(k=8, n=8), list(compiled.stages), engine="binary"
+        )
+        codes = compiled.input_quantizer.quantize(dataset.test_x[0])
+        result = pipeline.run(codes)
+        assert result.output.shape == (10, 1, 1)
+
+
+class TestAcceleratorAccuracy:
+    def test_int8_accuracy_close_to_fp32(self, setup):
+        dataset, model, compiled = setup
+        fp32 = model.evaluate(dataset.test_x, dataset.test_y)
+        accelerated = evaluate_on_accelerator(
+            compiled, dataset.test_x, dataset.test_y, limit=60
+        )
+        assert accelerated > fp32 - 0.08
+
+    def test_both_engines_agree_per_image(self, setup):
+        dataset, _, compiled = setup
+        tempus = evaluate_on_accelerator(
+            compiled, dataset.test_x, dataset.test_y,
+            engine="tempus", limit=30,
+        )
+        binary = evaluate_on_accelerator(
+            compiled, dataset.test_x, dataset.test_y,
+            engine="binary", limit=30,
+        )
+        assert tempus == binary  # bit-exact engines, identical decisions
+
+    def test_int4_still_learns(self, setup):
+        dataset, model, _ = setup
+        compiled4 = compile_small_cnn(model, dataset, precision=4)
+        accuracy = evaluate_on_accelerator(
+            compiled4, dataset.test_x, dataset.test_y, limit=40
+        )
+        assert accuracy > 0.6  # chance is 0.1

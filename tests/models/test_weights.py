@@ -1,0 +1,94 @@
+"""Tests for synthetic weight generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.models.weights import (
+    WeightSynthesisSpec,
+    load_quantized_model,
+    synthesize_layer_weights,
+)
+from repro.models.zoo import build_model
+from repro.utils.intrange import INT4, INT8
+from repro.utils.rng import make_rng
+
+
+class TestSynthesisSpec:
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            WeightSynthesisSpec(laplace_fraction=1.5)
+        with pytest.raises(CalibrationError):
+            WeightSynthesisSpec(zero_inflation=1.0)
+
+    def test_zero_inflation_produces_zeros(self):
+        layer = build_model("resnet18").layers[0]
+        spec = WeightSynthesisSpec(0.0, 0.5)
+        weights = synthesize_layer_weights(
+            layer, spec, make_rng("test", 0)
+        )
+        assert np.mean(weights == 0.0) > 0.4
+
+    def test_shape_matches_layer(self):
+        layer = build_model("resnet18").layers[0]
+        weights = synthesize_layer_weights(
+            layer, WeightSynthesisSpec(), make_rng("test", 1)
+        )
+        assert weights.shape == layer.weight_shape
+
+    def test_he_scaled_std(self):
+        layer = build_model("resnet18").layers[0]
+        weights = synthesize_layer_weights(
+            layer, WeightSynthesisSpec(0.0, 0.0), make_rng("test", 2)
+        )
+        expected = np.sqrt(2.0 / layer.fan_in)
+        assert np.std(weights) == pytest.approx(expected, rel=0.1)
+
+
+class TestQuantizedModel:
+    def test_deterministic(self):
+        a = load_quantized_model("resnet18", scale=0.25)
+        b = load_quantized_model("resnet18", scale=0.25)
+        assert a.word_sparsity() == b.word_sparsity()
+        assert np.array_equal(a.layers[0].codes, b.layers[0].codes)
+
+    def test_codes_in_range(self):
+        model = load_quantized_model("resnet18", scale=0.25)
+        for q in model.layers:
+            assert q.codes.max() <= 127
+            assert q.codes.min() >= -128
+
+    def test_int4_precision(self):
+        model = load_quantized_model(
+            "resnet18", precision=INT4, scale=0.25
+        )
+        for q in model.layers:
+            assert q.codes.max() <= 7
+            assert q.codes.min() >= -8
+
+    def test_iter_weight_tensors_int64(self):
+        model = load_quantized_model("resnet18", scale=0.25)
+        layer, codes = next(model.iter_weight_tensors())
+        assert codes.dtype == np.int64
+        assert codes.shape == layer.weight_shape
+
+    def test_word_sparsity_between_0_and_1(self):
+        model = load_quantized_model("mobilenet_v2", scale=0.25)
+        assert 0.0 < model.word_sparsity() < 0.25
+
+    def test_scales_positive(self):
+        model = load_quantized_model("resnet18", scale=0.25)
+        assert all(q.scale > 0 for q in model.layers)
+
+    def test_custom_synthesis_override(self):
+        dense = load_quantized_model(
+            "resnet18",
+            scale=0.25,
+            synthesis=WeightSynthesisSpec(0.0, 0.0),
+        )
+        sparse = load_quantized_model(
+            "resnet18",
+            scale=0.25,
+            synthesis=WeightSynthesisSpec(0.0, 0.3),
+        )
+        assert sparse.word_sparsity() > dense.word_sparsity() + 0.2

@@ -1,0 +1,67 @@
+"""Tests for the convolution accumulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.nvdla.cacc import CaccUnit
+from repro.nvdla.cmac import PsumPacket
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.dataflow import ConvShape
+from repro.sim.handshake import ValidReadyChannel
+
+
+def build_cacc(kernels=4, k=2):
+    shape = ConvShape(2, 2, 2, kernels, 1, 1)
+    config = CoreConfig(k=k, n=2)
+    channel = ValidReadyChannel("in")
+    return CaccUnit(config, shape, channel), channel
+
+
+class TestCacc:
+    def test_accumulates_per_pixel(self):
+        cacc, channel = build_cacc()
+        channel.push(PsumPacket(0, 0, 0, np.array([3, 4]), False))
+        cacc.tick()
+        channel.push(PsumPacket(0, 0, 0, np.array([10, 20]), False))
+        cacc.tick()
+        assert cacc.output[0, 0, 0] == 13
+        assert cacc.output[1, 0, 0] == 24
+
+    def test_kernel_group_offsets(self):
+        cacc, channel = build_cacc(kernels=4, k=2)
+        channel.push(PsumPacket(1, 0, 1, np.array([7, 8]), False))
+        cacc.tick()
+        assert cacc.output[2, 0, 1] == 7
+        assert cacc.output[3, 0, 1] == 8
+
+    def test_partial_last_group(self):
+        cacc, channel = build_cacc(kernels=3, k=2)
+        channel.push(PsumPacket(1, 0, 0, np.array([5, 99]), False))
+        cacc.tick()
+        assert cacc.output[2, 0, 0] == 5  # kernel 3 does not exist
+
+    def test_finished_on_last_packet(self):
+        cacc, channel = build_cacc()
+        channel.push(PsumPacket(0, 1, 1, np.array([1, 1]), True))
+        cacc.tick()
+        assert cacc.finished
+
+    def test_idle_tick_noop(self):
+        cacc, channel = build_cacc()
+        cacc.tick()
+        assert cacc.packets_received == 0
+
+    def test_empty_group_raises(self):
+        cacc, channel = build_cacc(kernels=2, k=2)
+        channel.push(PsumPacket(5, 0, 0, np.array([1, 1]), False))
+        with pytest.raises(SimulationError):
+            cacc.tick()
+
+    def test_reset(self):
+        cacc, channel = build_cacc()
+        channel.push(PsumPacket(0, 0, 0, np.array([1, 1]), True))
+        cacc.tick()
+        cacc.reset()
+        assert not cacc.finished
+        assert cacc.output.sum() == 0

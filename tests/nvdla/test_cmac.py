@@ -1,0 +1,113 @@
+"""Tests for the binary MAC array."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.nvdla.cmac import BinaryMacCell, CmacUnit
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.csc import AtomJob
+from repro.nvdla.dataflow import Atom
+from repro.sim.handshake import ValidReadyChannel
+
+
+def make_job(feature, weights, last=False):
+    k, n = weights.shape
+    atom = Atom(0, 0, 0, 0, 0, 0, n, 0, 0, True)
+    return AtomJob(
+        atom=atom,
+        feature=np.asarray(feature, dtype=np.int64),
+        weight_block=np.asarray(weights, dtype=np.int64),
+        last=last,
+    )
+
+
+class TestBinaryMacCell:
+    def test_dot_product(self, rng):
+        cell = BinaryMacCell(8)
+        weights = rng.integers(-128, 128, 8)
+        feature = rng.integers(-128, 128, 8)
+        cell.load_weights(weights)
+        assert cell.dot(feature) == int(np.dot(weights, feature))
+
+    def test_idle_detection(self):
+        cell = BinaryMacCell(4)
+        cell.load_weights(np.zeros(4, dtype=np.int64))
+        assert cell.is_idle
+        cell.load_weights(np.array([0, 0, 1, 0]))
+        assert not cell.is_idle
+
+    def test_shape_checks(self):
+        cell = BinaryMacCell(4)
+        with pytest.raises(SimulationError):
+            cell.load_weights(np.zeros(5, dtype=np.int64))
+        cell.load_weights(np.zeros(4, dtype=np.int64))
+        with pytest.raises(SimulationError):
+            cell.dot(np.zeros(3, dtype=np.int64))
+
+
+class TestCmacUnit:
+    def _unit(self, k=2, n=4):
+        config = CoreConfig(k=k, n=n)
+        inp = ValidReadyChannel("in")
+        out = ValidReadyChannel("out")
+        return CmacUnit(config, inp, out), inp, out
+
+    def test_one_atom_per_cycle_throughput(self, rng):
+        unit, inp, out = self._unit()
+        for cycle in range(4):
+            inp.push(
+                make_job(
+                    rng.integers(-8, 8, 4), rng.integers(-8, 8, (2, 4))
+                )
+            )
+            unit.tick()
+            if out.valid:
+                out.pop()
+        assert unit.atoms_processed == 4
+
+    def test_psums_match_numpy(self, rng):
+        unit, inp, out = self._unit()
+        feature = rng.integers(-128, 128, 4)
+        weights = rng.integers(-128, 128, (2, 4))
+        inp.push(make_job(feature, weights))
+        unit.tick()  # compute
+        unit.tick()  # drain
+        packet = out.pop()
+        assert list(packet.psums) == list(weights @ feature)
+
+    def test_pipeline_latency_one_cycle(self, rng):
+        unit, inp, out = self._unit()
+        inp.push(make_job(np.ones(4), np.ones((2, 4))))
+        unit.tick()
+        assert not out.valid  # still in the pipeline register
+        unit.tick()
+        assert out.valid
+
+    def test_gated_cells_counted(self):
+        unit, inp, out = self._unit()
+        weights = np.zeros((2, 4), dtype=np.int64)
+        weights[0, 0] = 1  # cell 1 idle
+        inp.push(make_job(np.ones(4), weights))
+        unit.tick()
+        assert unit.gated_cell_cycles == 1
+
+    def test_stall_holds_pipeline(self, rng):
+        unit, inp, out = self._unit()
+        inp.push(make_job(np.ones(4), np.ones((2, 4))))
+        unit.tick()
+        inp.push(make_job(2 * np.ones(4), np.ones((2, 4))))
+        unit.tick()  # drains first psum, accepts second
+        # don't pop: next tick must stall the pipeline
+        unit.tick()
+        assert unit.atoms_processed == 2
+        first = out.pop()
+        assert first.psums[0] == 4
+
+    def test_reset_clears_state(self, rng):
+        unit, inp, out = self._unit()
+        inp.push(make_job(np.ones(4), np.ones((2, 4))))
+        unit.tick()
+        unit.reset()
+        assert unit.atoms_processed == 0
+        assert not out.valid

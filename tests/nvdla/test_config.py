@@ -1,0 +1,44 @@
+"""Tests for the core configuration."""
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.nvdla.config import ARRAY_16X16, ARRAY_16X4_INT4, NV_SMALL, CoreConfig
+from repro.utils.intrange import INT4, INT8
+
+
+class TestCoreConfig:
+    def test_nv_small_is_8x8_int8(self):
+        assert NV_SMALL.k == 8
+        assert NV_SMALL.n == 8
+        assert NV_SMALL.precision is INT8
+
+    def test_paper_array_presets(self):
+        assert ARRAY_16X16.pe_count == 256
+        assert ARRAY_16X4_INT4.precision.width == 4
+
+    def test_precision_coercion(self):
+        assert CoreConfig(precision=4).precision is INT4
+        assert CoreConfig(precision="INT8").precision is INT8
+
+    def test_accumulator_width(self):
+        # 16 products of 16 bits each -> 20-bit sum.
+        assert CoreConfig(k=16, n=16, precision=INT8).accumulator_width == 20
+        # INT4: 8-bit products, n=4 -> 10 bits.
+        assert CoreConfig(k=16, n=4, precision=INT4).accumulator_width == 10
+
+    def test_with_precision(self):
+        config = ARRAY_16X16.with_precision(4)
+        assert config.precision is INT4
+        assert config.k == 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(DataflowError):
+            CoreConfig(k=0)
+        with pytest.raises(DataflowError):
+            CoreConfig(n=-1)
+        with pytest.raises(DataflowError):
+            CoreConfig(pipeline_latency=-1)
+
+    def test_describe(self):
+        assert ARRAY_16X16.describe() == "16x16 INT8"

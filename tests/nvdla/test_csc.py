@@ -1,0 +1,78 @@
+"""Tests for the sequence controller."""
+
+import numpy as np
+
+from repro.nvdla.cbuf import ConvBuffer
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.csc import SequenceController
+from repro.nvdla.dataflow import ConvShape
+from repro.sim.handshake import ValidReadyChannel
+from repro.utils.intrange import INT8
+
+
+def build_csc(rng, k=2, n=4):
+    shape = ConvShape(4, 3, 3, 4, 3, 3, padding=1)
+    config = CoreConfig(k=k, n=n, precision=INT8)
+    cbuf = ConvBuffer()
+    cbuf.load_layer(
+        shape,
+        rng.integers(-128, 128, shape.activation_shape()),
+        rng.integers(-128, 128, shape.weight_shape()),
+        INT8,
+    )
+    channel = ValidReadyChannel("out")
+    csc = SequenceController(config, shape, cbuf, channel)
+    csc.reset()
+    return csc, channel
+
+
+class TestSequencer:
+    def test_issues_one_atom_per_tick_when_ready(self, rng):
+        csc, channel = build_csc(rng)
+        csc.tick()
+        assert channel.valid
+        assert csc.issued == 1
+
+    def test_stalls_on_backpressure(self, rng):
+        csc, channel = build_csc(rng)
+        csc.tick()
+        csc.tick()  # channel still full -> no issue
+        assert csc.issued == 1
+        channel.pop()
+        csc.tick()
+        assert csc.issued == 2
+
+    def test_total_atom_count(self, rng):
+        csc, channel = build_csc(rng)
+        drained = 0
+        while not csc.done or channel.valid:
+            csc.tick()
+            if channel.valid:
+                channel.pop()
+                drained += 1
+        assert drained == csc.total_atoms
+        assert csc.issued == csc.total_atoms
+
+    def test_last_flag_only_on_final_atom(self, rng):
+        csc, channel = build_csc(rng)
+        lasts = []
+        while not csc.done or channel.valid:
+            csc.tick()
+            if channel.valid:
+                lasts.append(channel.pop().last)
+        assert lasts[-1] is True
+        assert not any(lasts[:-1])
+
+    def test_padding_atoms_zero_feature(self, rng):
+        csc, channel = build_csc(rng)
+        csc.tick()
+        job = channel.pop()
+        # first atom of a padded 3x3 conv at (0,0) is out of bounds
+        assert not job.atom.in_bounds
+        assert job.feature.sum() == 0
+
+    def test_weight_block_shape(self, rng):
+        csc, channel = build_csc(rng, k=2, n=4)
+        csc.tick()
+        job = channel.pop()
+        assert job.weight_block.shape == (2, 4)

@@ -1,0 +1,71 @@
+"""Tests for the PDP pooling engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataflowError
+from repro.nvdla.pdp import Pdp, PdpConfig
+
+
+class TestMaxPool:
+    def test_2x2(self):
+        pdp = Pdp(PdpConfig("max", kernel=2))
+        values = np.array([[[1, 2, 5, 6], [3, 4, 7, 8],
+                            [-1, -2, -5, -6], [-3, -4, -7, -8]]])
+        out = pdp.apply(values)
+        assert out.shape == (1, 2, 2)
+        assert out[0, 0, 0] == 4
+        assert out[0, 0, 1] == 8
+        assert out[0, 1, 0] == -1
+        assert out[0, 1, 1] == -5
+
+    def test_padding_never_wins(self):
+        pdp = Pdp(PdpConfig("max", kernel=3, stride=1, padding=1))
+        values = np.full((1, 2, 2), -9, dtype=np.int64)
+        out = pdp.apply(values)
+        assert (out == -9).all()
+
+    def test_overlapping_stride(self):
+        pdp = Pdp(PdpConfig("max", kernel=3, stride=2, padding=1))
+        values = np.arange(16).reshape(1, 4, 4)
+        assert pdp.apply(values).shape == (1, 2, 2)
+
+
+class TestAveragePool:
+    def test_exact_average(self):
+        pdp = Pdp(PdpConfig("average", kernel=2))
+        values = np.array([[[2, 4], [6, 8]]])
+        assert pdp.apply(values)[0, 0, 0] == 5
+
+    def test_rounding(self):
+        pdp = Pdp(PdpConfig("average", kernel=2))
+        values = np.array([[[1, 1], [1, 2]]])  # mean 1.25 -> 1
+        assert pdp.apply(values)[0, 0, 0] == 1
+        values = np.array([[[1, 2], [2, 2]]])  # mean 1.75 -> 2
+        assert pdp.apply(values)[0, 0, 0] == 2
+
+    def test_matches_numpy_mean_within_one(self, rng):
+        pdp = Pdp(PdpConfig("average", kernel=3))
+        values = rng.integers(-100, 100, (4, 9, 9))
+        out = pdp.apply(values)
+        reference = values.reshape(4, 3, 3, 3, 3).swapaxes(2, 3)
+        reference = reference.reshape(4, 3, 3, 9).mean(axis=-1)
+        assert np.max(np.abs(out - np.round(reference))) <= 1
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(DataflowError):
+            PdpConfig("median", kernel=2)
+
+    def test_window_too_big(self):
+        pdp = Pdp(PdpConfig("max", kernel=5))
+        with pytest.raises(DataflowError):
+            pdp.apply(np.zeros((1, 3, 3), dtype=np.int64))
+
+    def test_bad_rank(self):
+        with pytest.raises(DataflowError):
+            Pdp(PdpConfig("max", kernel=2)).apply(np.zeros((3, 3)))
+
+    def test_default_stride_is_kernel(self):
+        assert PdpConfig("max", kernel=3).stride == 3

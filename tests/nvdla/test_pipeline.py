@@ -1,0 +1,105 @@
+"""Tests for the full inference pipeline (conv core + SDP + PDP)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataflowError
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.pdp import PdpConfig
+from repro.nvdla.pipeline import (
+    ConvStage,
+    InferencePipeline,
+    PoolStage,
+    compare_engines,
+)
+from repro.nvdla.sdp import SdpConfig
+from repro.utils.intrange import INT8
+from repro.utils.rng import make_rng
+
+
+def build_network(rng):
+    """conv(3->8) -> relu/requant -> maxpool -> conv(8->4) -> relu."""
+    w1 = INT8.random_array(rng, (8, 3, 3, 3))
+    w2 = INT8.random_array(rng, (4, 8, 3, 3))
+    return [
+        ConvStage(
+            "conv1",
+            w1,
+            SdpConfig(
+                out_precision=INT8,
+                bias=rng.integers(-100, 100, 8),
+                multiplier=3,
+                shift=12,
+                activation="relu",
+            ),
+            padding=1,
+        ),
+        PoolStage("pool1", PdpConfig("max", kernel=2)),
+        ConvStage(
+            "conv2",
+            w2,
+            SdpConfig(
+                out_precision=INT8,
+                multiplier=5,
+                shift=13,
+                activation="relu",
+            ),
+            padding=1,
+        ),
+    ]
+
+
+class TestPipeline:
+    config = CoreConfig(k=4, n=4, precision=INT8)
+
+    def test_shapes_flow_through(self):
+        rng = make_rng("pipe-shapes")
+        pipeline = InferencePipeline(
+            self.config, build_network(rng), engine="binary"
+        )
+        result = pipeline.run(INT8.random_array(rng, (3, 8, 8)))
+        assert result.output.shape == (4, 4, 4)
+        assert [s.kind for s in result.stages] == ["conv", "pool", "conv"]
+
+    def test_outputs_in_precision(self):
+        rng = make_rng("pipe-precision")
+        pipeline = InferencePipeline(
+            self.config, build_network(rng), engine="tempus"
+        )
+        result = pipeline.run(INT8.random_array(rng, (3, 8, 8)))
+        assert result.output.max() <= 127
+        assert result.output.min() >= -128
+
+    def test_engines_bit_exact(self):
+        """The whole-network drop-in guarantee."""
+        rng = make_rng("pipe-exact")
+        binary, tempus = compare_engines(
+            self.config,
+            build_network(rng),
+            INT8.random_array(rng, (3, 8, 8)),
+        )
+        assert np.array_equal(binary.output, tempus.output)
+        assert tempus.conv_cycles > binary.conv_cycles
+
+    def test_cycle_accounting(self):
+        rng = make_rng("pipe-cycles")
+        pipeline = InferencePipeline(
+            self.config, build_network(rng), engine="binary"
+        )
+        result = pipeline.run(INT8.random_array(rng, (3, 8, 8)))
+        conv_stages = [s for s in result.stages if s.kind == "conv"]
+        assert result.conv_cycles == sum(
+            s.conv_cycles for s in conv_stages
+        )
+        assert all(s.conv_cycles > 0 for s in conv_stages)
+
+    def test_unknown_engine(self):
+        with pytest.raises(DataflowError):
+            InferencePipeline(self.config, [], engine="gpu")
+
+    def test_relu_pipeline_is_nonnegative_midway(self):
+        rng = make_rng("pipe-relu")
+        stages = build_network(rng)[:1]
+        pipeline = InferencePipeline(self.config, stages, engine="binary")
+        result = pipeline.run(INT8.random_array(rng, (3, 8, 8)))
+        assert result.output.min() >= 0

@@ -1,0 +1,91 @@
+"""Property-based tests for the NVDLA substrate (post-processing and
+tiling)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nvdla.cbuf import ConvBuffer
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.conv_core import ConvolutionCore
+from repro.nvdla.dataflow import golden_conv2d
+from repro.nvdla.pdp import Pdp, PdpConfig
+from repro.nvdla.sdp import Sdp, SdpConfig, requant_params_from_scale
+from repro.nvdla.tiling import run_tiled_layer
+from repro.utils.intrange import INT8
+
+int8 = st.integers(min_value=-128, max_value=127)
+psums = st.integers(min_value=-(1 << 20), max_value=(1 << 20) - 1)
+
+
+@given(
+    values=arrays(np.int64, (2, 3, 3), elements=psums),
+    shift=st.integers(min_value=0, max_value=12),
+)
+def test_sdp_requant_bounded_error(values, shift):
+    """Integer requantization tracks the real-valued scale within one
+    output LSB."""
+    sdp = Sdp(SdpConfig(out_precision=INT8, multiplier=3, shift=shift))
+    out = sdp.apply(values)
+    reference = INT8.clip(np.round(values * (3 / (1 << shift))))
+    assert np.max(np.abs(out - reference)) <= 1
+
+
+@given(values=arrays(np.int64, (2, 2, 2), elements=psums))
+def test_sdp_relu_never_negative(values):
+    sdp = Sdp(
+        SdpConfig(out_precision=INT8, multiplier=1, shift=4,
+                  activation="relu")
+    )
+    assert sdp.apply(values).min() >= 0
+
+
+@given(scale=st.floats(min_value=1e-6, max_value=1e3))
+def test_requant_params_accurate(scale):
+    multiplier, shift = requant_params_from_scale(scale)
+    assert multiplier / (1 << shift) == __import__("pytest").approx(
+        scale, rel=1e-3
+    )
+
+
+@given(values=arrays(np.int64, (3, 6, 6), elements=int8))
+def test_maxpool_dominates_average(values):
+    """For any tensor, per-window max >= rounded average."""
+    max_out = Pdp(PdpConfig("max", kernel=2)).apply(values)
+    avg_out = Pdp(PdpConfig("average", kernel=2)).apply(values)
+    assert (max_out >= avg_out).all()
+
+
+@given(values=arrays(np.int64, (2, 4, 4), elements=int8))
+def test_maxpool_idempotent_on_constant(values):
+    """Pooling a constant tensor returns the constant."""
+    constant = np.full_like(values, int(values[0, 0, 0]))
+    out = Pdp(PdpConfig("max", kernel=2)).apply(constant)
+    assert (out == constant[0, 0, 0]).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    data=st.data(),
+    size=st.integers(min_value=6, max_value=12),
+    kernels=st.integers(min_value=2, max_value=6),
+    stride=st.sampled_from([1, 2]),
+)
+def test_tiled_execution_exact(data, size, kernels, stride):
+    """Layer tiling through a tiny CBUF stitches back the exact result for
+    arbitrary geometry."""
+    activations = data.draw(
+        arrays(np.int64, (8, size, size), elements=int8)
+    )
+    weights = data.draw(
+        arrays(np.int64, (kernels, 8, 3, 3), elements=int8)
+    )
+    core = ConvolutionCore(
+        CoreConfig(k=4, n=4),
+        mode="fast",
+        cbuf=ConvBuffer(capacity_kib=1, banks=4),
+    )
+    result = run_tiled_layer(core, activations, weights, stride, 1)
+    assert np.array_equal(
+        result.output, golden_conv2d(activations, weights, stride, 1)
+    )

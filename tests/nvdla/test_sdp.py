@@ -1,0 +1,89 @@
+"""Tests for the SDP post-processing stage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataflowError
+from repro.nvdla.sdp import Sdp, SdpConfig, requant_params_from_scale
+from repro.utils.intrange import INT8
+
+
+def make_sdp(**overrides) -> Sdp:
+    base = dict(out_precision=INT8, multiplier=1, shift=0)
+    base.update(overrides)
+    return Sdp(SdpConfig(**base))
+
+
+class TestRequantParams:
+    @pytest.mark.parametrize("scale", [0.5, 0.017, 1.0, 3.3, 1e-4])
+    def test_approximation_tight(self, scale):
+        multiplier, shift = requant_params_from_scale(scale)
+        approx = multiplier / (1 << shift)
+        assert approx == pytest.approx(scale, rel=1e-4)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DataflowError):
+            requant_params_from_scale(0.0)
+
+
+class TestSdp:
+    def test_passthrough(self):
+        sdp = make_sdp()
+        values = np.arange(-4, 4).reshape(1, 2, 4)
+        assert np.array_equal(sdp.apply(values), values)
+
+    def test_bias_per_kernel(self):
+        sdp = make_sdp(bias=np.array([10, -10]))
+        values = np.zeros((2, 1, 1), dtype=np.int64)
+        out = sdp.apply(values)
+        assert out[0, 0, 0] == 10
+        assert out[1, 0, 0] == -10
+
+    def test_relu(self):
+        sdp = make_sdp(activation="relu")
+        values = np.array([[[-5, 7]]])
+        assert list(sdp.apply(values)[0, 0]) == [0, 7]
+
+    def test_prelu_negative_slope(self):
+        # negative side scaled by 1/8 (multiplier 1, shift 3)
+        sdp = make_sdp(
+            activation="prelu", prelu_multiplier=1, prelu_shift=3
+        )
+        values = np.array([[[-16, 16]]])
+        out = sdp.apply(values)
+        assert out[0, 0, 0] == -2
+        assert out[0, 0, 1] == 16
+
+    def test_requant_rounds_to_nearest(self):
+        # multiply by 1/4 with rounding: 6 -> 2 (1.5 rounds away), -6 -> -2
+        sdp = make_sdp(multiplier=1, shift=2)
+        values = np.array([[[6, -6, 7, 1]]])
+        assert list(sdp.apply(values)[0, 0]) == [2, -2, 2, 0]
+
+    def test_requant_matches_float_reference(self, rng):
+        """Integer requantization tracks float scaling within 1 LSB."""
+        scale = 0.0123
+        multiplier, shift = requant_params_from_scale(scale)
+        sdp = make_sdp(multiplier=multiplier, shift=shift)
+        values = rng.integers(-5000, 5000, (2, 4, 4))
+        out = sdp.apply(values)
+        reference = INT8.clip(np.round(values * scale))
+        assert np.max(np.abs(out - reference)) <= 1
+
+    def test_saturation(self):
+        sdp = make_sdp()
+        values = np.array([[[1000, -1000]]])
+        assert list(sdp.apply(values)[0, 0]) == [127, -128]
+
+    def test_bias_shape_checked(self):
+        sdp = make_sdp(bias=np.array([1, 2, 3]))
+        with pytest.raises(DataflowError):
+            sdp.apply(np.zeros((2, 1, 1), dtype=np.int64))
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(DataflowError):
+            make_sdp().apply(np.zeros((2, 2), dtype=np.int64))
+
+    def test_invalid_activation(self):
+        with pytest.raises(DataflowError):
+            SdpConfig(out_precision=INT8, activation="gelu")

@@ -1,0 +1,81 @@
+"""Tests for the Sec. V-C energy model."""
+
+import pytest
+
+from repro.nvdla.config import CoreConfig
+from repro.profiling.energy import (
+    EnergyComparison,
+    array_powers,
+    workload_energy,
+)
+from repro.utils.intrange import INT4, INT8
+
+
+class TestEnergyArithmetic:
+    comparison = EnergyComparison(
+        workload="test",
+        precision="INT8",
+        binary_power_mw=3.8,
+        tub_power_mw=1.42,
+        burst_cycles=33.0,
+        active_fraction=250 / 256,
+    )
+
+    def test_paper_arithmetic_reproduced(self):
+        """With the paper's own powers and cycles, the model reproduces
+        the paper's energies: 15.2 pJ binary, 187 pJ tub."""
+        assert self.comparison.binary_energy_pj == pytest.approx(
+            15.2, abs=0.1
+        )
+        assert self.comparison.tub_energy_pj == pytest.approx(
+            187.4, abs=0.5
+        )
+
+    def test_gap_matches_paper(self):
+        assert self.comparison.energy_gap == pytest.approx(12.3, abs=0.2)
+
+    def test_silent_adjustment_reduces_energy(self):
+        assert (
+            self.comparison.tub_energy_silent_adjusted_pj
+            < self.comparison.tub_energy_pj
+        )
+
+    def test_full_activity_no_adjustment(self):
+        full = EnergyComparison(
+            "w", "INT8", 1.0, 1.0, 10.0, active_fraction=1.0
+        )
+        assert full.tub_energy_silent_adjusted_pj == pytest.approx(
+            full.tub_energy_pj
+        )
+
+    def test_clock_period(self):
+        assert self.comparison.clock_period_ns == pytest.approx(4.0)
+
+
+class TestMeasuredEnergies:
+    def test_int4_gap_smaller_than_int8(self):
+        """The paper's headline: the energy gap shrinks at lower
+        precision (11.7x -> 2.3x)."""
+        int8 = workload_energy(
+            "worst", CoreConfig(16, 16, INT8), burst_cycles=64
+        )
+        int4 = workload_energy(
+            "worst", CoreConfig(16, 16, INT4), burst_cycles=4
+        )
+        assert int4.energy_gap < int8.energy_gap / 3
+
+    def test_array_powers_ordering(self):
+        binary, tub = array_powers(CoreConfig(16, 16, INT8))
+        assert tub.total_power_mw < binary.total_power_mw
+
+    def test_energy_scales_with_cycles(self):
+        short = workload_energy(
+            "short", CoreConfig(4, 4, INT8), burst_cycles=10
+        )
+        long = workload_energy(
+            "long", CoreConfig(4, 4, INT8), burst_cycles=20
+        )
+        assert long.tub_energy_pj == pytest.approx(
+            2 * short.tub_energy_pj
+        )
+        assert long.binary_energy_pj == short.binary_energy_pj

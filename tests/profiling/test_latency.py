@@ -1,0 +1,45 @@
+"""Tests for whole-model workload latency."""
+
+import pytest
+
+from repro.models.weights import load_quantized_model
+from repro.nvdla.config import CoreConfig
+from repro.profiling.latency import model_workload_latency
+
+
+@pytest.fixture(scope="module")
+def workload():
+    model = load_quantized_model("resnet18", scale=0.25)
+    return model_workload_latency(model, CoreConfig(k=8, n=8))
+
+
+class TestWorkloadLatency:
+    def test_one_row_per_layer(self, workload):
+        model = load_quantized_model("resnet18", scale=0.25)
+        assert len(workload.layers) == len(model.layers)
+
+    def test_tempus_slower_than_binary(self, workload):
+        assert workload.tempus_cycles > workload.binary_cycles
+
+    def test_slowdown_bounded_by_worst_case(self, workload):
+        assert 1.0 < workload.slowdown <= 64
+
+    def test_per_layer_slowdowns_bounded(self, workload):
+        for layer in workload.layers:
+            assert 1.0 <= layer.slowdown <= 64 + 1
+
+    def test_totals_are_sums(self, workload):
+        assert workload.binary_cycles == sum(
+            l.binary_cycles for l in workload.layers
+        )
+        assert workload.tempus_cycles == sum(
+            l.tempus_cycles for l in workload.layers
+        )
+
+    def test_mean_burst_in_range(self, workload):
+        assert 1.0 <= workload.mean_burst_cycles() <= 64
+
+    def test_grouped_model_supported(self):
+        model = load_quantized_model("mobilenet_v2", scale=0.25)
+        workload = model_workload_latency(model, CoreConfig(k=8, n=8))
+        assert workload.tempus_cycles > 0

@@ -1,0 +1,56 @@
+"""Tests for quantization calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.quant.calibration import calibrate_minmax, calibrate_percentile
+
+
+class TestMinMax:
+    def test_threshold_is_max_abs(self):
+        result = calibrate_minmax(np.array([-3.0, 2.0, 1.0]))
+        assert result.threshold == 3.0
+        assert result.coverage == 1.0
+
+    def test_all_zero_tensor_gets_unit_threshold(self):
+        assert calibrate_minmax(np.zeros(5)).threshold == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(CalibrationError):
+            calibrate_minmax(np.array([]))
+
+    def test_nan_raises(self):
+        with pytest.raises(CalibrationError):
+            calibrate_minmax(np.array([1.0, np.nan]))
+
+    def test_inf_raises(self):
+        with pytest.raises(CalibrationError):
+            calibrate_minmax(np.array([np.inf]))
+
+
+class TestPercentile:
+    def test_clips_outliers(self, rng):
+        values = rng.normal(0, 1, 10_000)
+        values[0] = 1000.0
+        result = calibrate_percentile(values, 99.0)
+        assert result.threshold < 10.0
+        assert result.coverage >= 0.98
+
+    def test_percentile_100_equals_minmax(self, rng):
+        values = rng.normal(0, 1, 1000)
+        assert calibrate_percentile(values, 100.0).threshold == pytest.approx(
+            calibrate_minmax(values).threshold
+        )
+
+    def test_invalid_percentile_raises(self):
+        with pytest.raises(CalibrationError):
+            calibrate_percentile(np.ones(4), 0.0)
+        with pytest.raises(CalibrationError):
+            calibrate_percentile(np.ones(4), 101.0)
+
+    def test_mostly_zero_tensor_falls_back(self):
+        values = np.zeros(1000)
+        values[-1] = 5.0
+        result = calibrate_percentile(values, 50.0)
+        assert result.threshold > 0

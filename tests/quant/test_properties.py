@@ -1,0 +1,57 @@
+"""Property-based tests for quantization."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.quantize import SymmetricQuantizer, quantize_per_tensor
+from repro.utils.intrange import INT4, INT8, int_spec
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+float_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=64),
+    elements=finite_floats,
+)
+
+
+@given(values=float_arrays)
+def test_codes_always_in_range(values):
+    qt = quantize_per_tensor(values, INT8)
+    assert qt.data.min() >= -128
+    assert qt.data.max() <= 127
+
+
+@given(values=float_arrays, width=st.sampled_from([2, 4, 8]))
+def test_quantization_error_bounded(values, width):
+    """Min-max symmetric quantization error never exceeds half a step."""
+    spec = int_spec(width)
+    qt = quantize_per_tensor(values, spec)
+    recovered = qt.dequantize()
+    step = float(qt.scale)
+    assert np.all(np.abs(recovered - values) <= step / 2 + 1e-9 * step)
+
+
+@given(
+    threshold=st.floats(min_value=1e-3, max_value=1e3),
+    value=finite_floats,
+)
+def test_symmetric_quantizer_monotone(threshold, value):
+    """q(x) is monotone: a larger input never quantizes lower."""
+    quantizer = SymmetricQuantizer.from_threshold(INT8, threshold)
+    lower = quantizer.quantize(np.array([value]))[0]
+    higher = quantizer.quantize(np.array([value + abs(value) * 0.5 + 1.0]))[0]
+    assert higher >= lower
+
+
+@given(values=float_arrays)
+def test_negation_symmetry(values):
+    """Symmetric quantization commutes with negation (up to rounding ties
+    and the asymmetric -2^(w-1) code)."""
+    qt_pos = quantize_per_tensor(values, INT4)
+    qt_neg = quantize_per_tensor(-values, INT4)
+    # Saturated most-negative codes have no positive mirror; exclude them.
+    mask = (qt_pos.data > -8) & (qt_neg.data > -8)
+    assert np.all(np.abs(qt_pos.data[mask] + qt_neg.data[mask]) <= 1)

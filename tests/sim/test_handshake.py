@@ -1,0 +1,66 @@
+"""Tests for the valid/ready channel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.handshake import ValidReadyChannel
+
+
+class TestChannel:
+    def test_push_pop(self):
+        channel = ValidReadyChannel("c")
+        assert channel.ready
+        assert channel.push("x")
+        assert channel.valid
+        assert channel.pop() == "x"
+        assert channel.ready
+
+    def test_push_when_full_rejected(self):
+        channel = ValidReadyChannel()
+        channel.push(1)
+        assert not channel.push(2)
+        assert channel.pop() == 1
+
+    def test_stall_counted(self):
+        channel = ValidReadyChannel()
+        channel.push(1)
+        channel.push(2)
+        channel.push(3)
+        assert channel.stall_cycles == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            ValidReadyChannel().pop()
+
+    def test_peek_does_not_consume(self):
+        channel = ValidReadyChannel()
+        channel.push("payload")
+        assert channel.peek() == "payload"
+        assert channel.valid
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            ValidReadyChannel().peek()
+
+    def test_counters(self):
+        channel = ValidReadyChannel()
+        channel.push(1)
+        channel.pop()
+        channel.push(2)
+        channel.pop()
+        assert channel.pushes == 2
+        assert channel.pops == 2
+
+    def test_reset_clears_everything(self):
+        channel = ValidReadyChannel()
+        channel.push(1)
+        channel.reset()
+        assert channel.ready
+        assert channel.pushes == 0
+        assert channel.stall_cycles == 0
+
+    def test_none_payload_supported(self):
+        channel = ValidReadyChannel()
+        channel.push(None)
+        assert channel.valid
+        assert channel.pop() is None

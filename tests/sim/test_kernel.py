@@ -1,0 +1,81 @@
+"""Tests for the cycle simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import CycleSimulator, Module
+
+
+class Counter(Module):
+    """Increments once per tick."""
+
+    def __init__(self, name="counter"):
+        super().__init__(name)
+        self.value = 0
+
+    def reset(self):
+        self.value = 0
+
+    def tick(self):
+        self.value += 1
+
+
+class TestCycleSimulator:
+    def test_step_advances_all_modules(self):
+        a, b = Counter("a"), Counter("b")
+        sim = CycleSimulator([a, b])
+        sim.step(5)
+        assert a.value == 5
+        assert b.value == 5
+        assert sim.cycle == 5
+
+    def test_reset_restores_state(self):
+        counter = Counter()
+        sim = CycleSimulator([counter])
+        sim.step(3)
+        sim.reset()
+        assert counter.value == 0
+        assert sim.cycle == 0
+
+    def test_add_module(self):
+        sim = CycleSimulator()
+        counter = sim.add(Counter())
+        sim.step()
+        assert counter.value == 1
+
+    def test_negative_step_raises(self):
+        with pytest.raises(SimulationError):
+            CycleSimulator().step(-1)
+
+    def test_run_until_condition(self):
+        counter = Counter()
+        sim = CycleSimulator([counter])
+        consumed = sim.run_until(lambda: counter.value >= 7)
+        assert consumed == 7
+        assert counter.value == 7
+
+    def test_run_until_deadlock_guard(self):
+        sim = CycleSimulator([Counter()])
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, max_cycles=10)
+
+    def test_run_until_immediately_true(self):
+        sim = CycleSimulator([Counter()])
+        assert sim.run_until(lambda: True) == 0
+
+    def test_tick_order_is_registration_order(self):
+        order = []
+
+        class Probe(Module):
+            def __init__(self, name):
+                super().__init__(name)
+
+            def reset(self):
+                pass
+
+            def tick(self):
+                order.append(self.name)
+
+        sim = CycleSimulator([Probe("first"), Probe("second")])
+        sim.step()
+        assert order == ["first", "second"]

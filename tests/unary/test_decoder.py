@@ -1,0 +1,40 @@
+"""Tests for the temporal accumulator (decoder side)."""
+
+from repro.unary.decoder import TemporalAccumulator
+from repro.unary.encoding import TwosUnaryCode
+
+
+class TestTemporalAccumulator:
+    def test_consume_decodes_value(self):
+        code = TwosUnaryCode()
+        acc = TemporalAccumulator()
+        assert acc.consume(code.encode(-37)) == -37
+
+    def test_operand_multiplies(self):
+        code = TwosUnaryCode()
+        acc = TemporalAccumulator()
+        assert acc.consume(code.encode(6), operand=5) == 30
+
+    def test_tick_accumulates(self):
+        acc = TemporalAccumulator()
+        acc.tick(2, 3)
+        acc.tick(1, 3)
+        assert acc.value == 9
+
+    def test_zero_pulse_no_change(self):
+        acc = TemporalAccumulator()
+        acc.tick(0, 1000)
+        assert acc.value == 0
+
+    def test_reset(self):
+        acc = TemporalAccumulator()
+        acc.tick(2, 2)
+        acc.reset()
+        assert acc.value == 0
+
+    def test_multiple_streams_accumulate(self):
+        code = TwosUnaryCode()
+        acc = TemporalAccumulator()
+        acc.consume(code.encode(3), operand=2)
+        acc.consume(code.encode(-1), operand=4)
+        assert acc.value == 3 * 2 + (-1) * 4

@@ -1,0 +1,80 @@
+"""Tests for the cycle-level temporal encoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError, SimulationError
+from repro.unary.encoder import TemporalEncoder, encode_cycles
+from repro.unary.encoding import PureUnaryCode
+
+
+class TestTemporalEncoder:
+    def test_positive_stream(self):
+        enc = TemporalEncoder()
+        enc.load(5)
+        assert enc.drain() == [2, 2, 1]
+
+    def test_negative_stream(self):
+        enc = TemporalEncoder()
+        enc.load(-4)
+        assert enc.drain() == [-2, -2]
+
+    def test_zero_never_busy(self):
+        enc = TemporalEncoder()
+        enc.load(0)
+        assert not enc.busy
+        assert enc.tick() == 0
+
+    def test_tick_before_load_raises(self):
+        with pytest.raises(SimulationError):
+            TemporalEncoder().tick()
+
+    def test_idle_ticks_emit_zero(self):
+        enc = TemporalEncoder()
+        enc.load(2)
+        enc.drain()
+        assert enc.tick() == 0
+
+    def test_reload_restarts(self):
+        enc = TemporalEncoder()
+        enc.load(2)
+        enc.drain()
+        enc.load(3)
+        assert enc.drain() == [2, 1]
+
+    def test_remaining_cycles_counts_down(self):
+        enc = TemporalEncoder()
+        enc.load(5)
+        seen = []
+        while enc.busy:
+            seen.append(enc.remaining_cycles)
+            enc.tick()
+        assert seen == [3, 2, 1]
+
+    def test_pure_unary_mode(self):
+        enc = TemporalEncoder(PureUnaryCode())
+        enc.load(-3)
+        assert enc.drain() == [-1, -1, -1]
+
+    def test_sum_of_pulses_equals_value(self):
+        enc = TemporalEncoder()
+        for value in range(-128, 128, 7):
+            enc.load(value)
+            assert sum(enc.drain()) == value
+
+
+class TestEncodeCycles:
+    def test_matches_scalar_code(self):
+        weights = np.arange(-128, 128)
+        cycles = encode_cycles(weights)
+        assert cycles.shape == weights.shape
+        assert cycles[0] == 64  # -128
+        assert cycles[-1] == 64  # 127 -> ceil(127/2)
+
+    def test_float_array_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_cycles(np.array([1.5]))
+
+    def test_nd_shape_preserved(self):
+        weights = np.zeros((3, 4), dtype=np.int64)
+        assert encode_cycles(weights).shape == (3, 4)

@@ -1,0 +1,25 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.utils.rng import make_rng
+
+
+def test_same_stream_same_values():
+    a = make_rng("weights", "model", 3).integers(0, 1000, 10)
+    b = make_rng("weights", "model", 3).integers(0, 1000, 10)
+    assert (a == b).all()
+
+
+def test_different_streams_differ():
+    a = make_rng("weights", "model", 3).integers(0, 1 << 30, 16)
+    b = make_rng("weights", "model", 4).integers(0, 1 << 30, 16)
+    assert (a != b).any()
+
+
+def test_string_and_int_parts_distinguished():
+    a = make_rng("a", 1).integers(0, 1 << 30, 16)
+    b = make_rng("a", "1").integers(0, 1 << 30, 16)
+    assert (a != b).any()
+
+
+def test_no_args_is_valid():
+    assert make_rng().integers(0, 10) >= 0

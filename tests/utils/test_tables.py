@@ -1,0 +1,60 @@
+"""Tests for report rendering helpers."""
+
+import pytest
+
+from repro.utils.tables import ascii_bar_chart, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        assert "a" in text and "bb" in text
+        assert "3" in text and "4" in text
+
+    def test_title_on_first_line(self):
+        text = format_table(["x"], [[1]], title="caption")
+        assert text.splitlines()[0] == "caption"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159265]], float_format=".2f")
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_alignment_uniform_width(self):
+        text = format_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestBarChart:
+    def test_bar_lengths_proportional(self):
+        text = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        line_a, line_b = text.splitlines()
+        assert line_b.count("#") == 2 * line_a.count("#")
+
+    def test_zero_values_ok(self):
+        text = ascii_bar_chart(["a"], [0.0])
+        assert "a" in text
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_title(self):
+        assert ascii_bar_chart(["a"], [1.0], title="T").startswith("T")
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv", ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "dir" / "x.csv", ["a"], [[1]])
+        assert path.exists()
