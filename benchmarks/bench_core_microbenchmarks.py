@@ -49,6 +49,34 @@ def test_tempus_core_cycle_accurate_small(benchmark):
     assert result.output.shape == (2, 4, 4)
 
 
+def test_tempus_core_burst_engine_small(benchmark):
+    """Burst-level engine on the same layer as the tick-level case above —
+    the speedup this PR tracks (see also bench_engine_speed.py)."""
+    rng = make_rng("microbench-cycle")
+    activations = INT8.random_array(rng, (4, 4, 4))
+    weights = INT8.random_array(rng, (2, 4, 3, 3))
+    core = TempusCore(CoreConfig(k=2, n=4), mode="burst")
+    result = benchmark(core.run_layer, activations, weights, 1, 1)
+    assert result.output.shape == (2, 4, 4)
+
+
+def test_tempus_core_burst_engine_full_array(benchmark):
+    """Full 16x16 INT8 layer on the burst engine — intractable at tick
+    level, seconds at burst level."""
+    activations, weights = _layer()
+    core = TempusCore(CoreConfig(k=16, n=16), mode="burst")
+    result = benchmark(core.run_layer, activations, weights, 1, 1)
+    assert result.cycles > 0
+    assert result.gated_cell_cycles >= 0
+
+
+def test_binary_core_burst_engine_full_array(benchmark):
+    activations, weights = _layer()
+    core = ConvolutionCore(CoreConfig(k=16, n=16), mode="burst")
+    result = benchmark(core.run_layer, activations, weights, 1, 1)
+    assert result.cycles == result.atoms + 1
+
+
 def test_synthesis_estimator_speed(benchmark):
     result = benchmark(synthesize, cmac_unit_netlist(16, 16, INT8))
     assert result.area_um2 > 0

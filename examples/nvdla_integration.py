@@ -3,6 +3,11 @@
 (CBUF -> CSC -> MAC array -> CACC), cycle-accurate, with Tempus Core's PCU
 swapped in for the CMAC — and nothing else changed.
 
+Uses the vectorized burst-level engine (mode="burst"), which is
+bit-identical to the tick-level mode="cycle" simulation but runs at NumPy
+speed; swap the mode below to watch the tick engine reproduce the same
+numbers edge by edge.
+
 Run:  python examples/nvdla_integration.py
 """
 
@@ -28,7 +33,7 @@ def main() -> None:
         ("Tempus Core (tub PCU)", TempusCore),
     ):
         cbuf = ConvBuffer(capacity_kib=128, banks=16)
-        engine = engine_cls(config, mode="cycle", cbuf=cbuf)
+        engine = engine_cls(config, mode="burst", cbuf=cbuf)
         result = engine.run_layer(activations, weights, padding=1)
         results[label] = result
         print(f"{label}")

@@ -12,21 +12,26 @@ produces bit-identical outputs.
 
 from repro.core.latency import (
     burst_cycle_map,
+    cached_burst_cycle_map,
     layer_burst_cycles,
     worst_case_cycles,
 )
-from repro.core.pe_cell import TubPeCell
-from repro.core.pcu import PcuUnit
+from repro.core.pe_cell import TubCellBlock, TubPeCell
+from repro.core.pcu import PcuUnit, VectorPcuUnit
 from repro.core.tempus_core import TempusCore
-from repro.core.tub_multiplier import TubMultiplier, tub_multiply
+from repro.core.tub_multiplier import TubLaneBlock, TubMultiplier, tub_multiply
 
 __all__ = [
     "TubMultiplier",
+    "TubLaneBlock",
     "tub_multiply",
     "TubPeCell",
+    "TubCellBlock",
     "PcuUnit",
+    "VectorPcuUnit",
     "TempusCore",
     "worst_case_cycles",
     "burst_cycle_map",
+    "cached_burst_cycle_map",
     "layer_burst_cycles",
 ]

@@ -9,6 +9,8 @@ whole-CNN profiling (Figs. 7/8, Sec. V-C) fast.
 from __future__ import annotations
 
 import math
+import weakref
+from collections import OrderedDict
 
 import numpy as np
 
@@ -28,6 +30,23 @@ def worst_case_cycles(
     return code.cycles_for_magnitude(precision.max_magnitude)
 
 
+def _tiled_view(weights: np.ndarray, k: int, n: int) -> np.ndarray:
+    """Zero-pad a (K, C, R, S) tensor to whole tiles and expose it as a
+    (groups, k, blocks, n, R, S) view — one (k, n) slice per atom tile,
+    padded exactly as the MAC array sees tensor-edge atoms."""
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise DataflowError("expected (K, C, R, S) weights")
+    kernels, channels, kernel_h, kernel_w = weights.shape
+    groups = math.ceil(kernels / k)
+    blocks = math.ceil(channels / n)
+    padded = np.zeros(
+        (groups * k, blocks * n, kernel_h, kernel_w), dtype=np.int64
+    )
+    padded[:kernels, :channels] = weights
+    return padded.reshape(groups, k, blocks, n, kernel_h, kernel_w)
+
+
 def tile_max_magnitudes(
     weights: np.ndarray, k: int, n: int
 ) -> np.ndarray:
@@ -40,17 +59,7 @@ def tile_max_magnitudes(
     Returns:
         int64 array of shape (groups, channel_blocks, R, S).
     """
-    weights = np.asarray(weights)
-    if weights.ndim != 4:
-        raise DataflowError("expected (K, C, R, S) weights")
-    kernels, channels, kernel_h, kernel_w = weights.shape
-    groups = math.ceil(kernels / k)
-    blocks = math.ceil(channels / n)
-    padded = np.zeros(
-        (groups * k, blocks * n, kernel_h, kernel_w), dtype=np.int64
-    )
-    padded[:kernels, :channels] = np.abs(weights.astype(np.int64))
-    tiled = padded.reshape(groups, k, blocks, n, kernel_h, kernel_w)
+    tiled = np.abs(_tiled_view(weights, k, n))
     return tiled.max(axis=(1, 3))
 
 
@@ -68,6 +77,100 @@ def burst_cycle_map(
     return np.maximum(cycles, 1) + config.burst_overhead
 
 
+# ----------------------------------------------------------------------
+# Burst-map cache
+#
+# Scheduling, profiling and the analytic engines all re-derive the same
+# burst map for the same weight tensor (often several times per layer,
+# and once per *group* for depthwise/grouped convolutions).  The map
+# depends only on (weights, k, n, burst_overhead, code), so a keyed LRU
+# makes those passes free.  Group tensors are slice views of a stable
+# per-layer array, so the key anchors on the view's base array identity
+# plus the view's memory location (data pointer, shape, strides) — fresh
+# view objects over the same storage hit the same entry.  A weakref to
+# the base array guards against a recycled ``id`` false-hitting after
+# the owner dies.  In-place mutation of a cached weight tensor is NOT
+# detected — treat quantized weights as immutable (every producer in
+# this repo does; :attr:`QuantizedLayer.codes64` is even marked
+# read-only).
+# ----------------------------------------------------------------------
+_BURST_MAP_CACHE_SIZE = 4096
+_burst_map_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+_burst_map_hits = 0
+_burst_map_misses = 0
+
+
+def _burst_map_key(
+    weights: np.ndarray, config: CoreConfig, code: UnaryCode
+) -> tuple:
+    owner = weights
+    while owner.base is not None and isinstance(owner.base, np.ndarray):
+        owner = owner.base
+    return owner, (
+        id(owner),
+        weights.__array_interface__["data"][0],
+        weights.shape,
+        weights.strides,
+        str(weights.dtype),
+        config.k,
+        config.n,
+        config.burst_overhead,
+        code.name,
+    )
+
+
+def cached_burst_cycle_map(
+    weights: np.ndarray,
+    config: CoreConfig,
+    code: UnaryCode | None = None,
+) -> np.ndarray:
+    """Memoized :func:`burst_cycle_map` keyed on the weight tensor's
+    storage identity plus the array geometry and code (see cache notes
+    above).
+
+    Returns the cached map as read-only; copy before mutating.
+    """
+    global _burst_map_hits, _burst_map_misses
+    code = code if code is not None else TwosUnaryCode()
+    weights = np.asarray(weights)
+    owner, key = _burst_map_key(weights, config, code)
+    entry = _burst_map_cache.get(key)
+    if entry is not None and entry[0]() is owner:
+        _burst_map_cache.move_to_end(key)
+        _burst_map_hits += 1
+        return entry[1]
+    cycles = burst_cycle_map(weights, config, code)
+    cycles.setflags(write=False)
+    try:
+        owner_ref = weakref.ref(owner)
+    except TypeError:
+        # Some ndarray subclasses reject weakrefs; skip caching for them.
+        return cycles
+    _burst_map_cache[key] = (owner_ref, cycles)
+    _burst_map_cache.move_to_end(key)
+    _burst_map_misses += 1
+    while len(_burst_map_cache) > _BURST_MAP_CACHE_SIZE:
+        _burst_map_cache.popitem(last=False)
+    return cycles
+
+
+def burst_map_cache_stats() -> dict:
+    """Hit/miss counters (observability for the profiling passes)."""
+    return {
+        "hits": _burst_map_hits,
+        "misses": _burst_map_misses,
+        "entries": len(_burst_map_cache),
+    }
+
+
+def clear_burst_map_cache() -> None:
+    """Drop all cached maps and reset the counters."""
+    global _burst_map_hits, _burst_map_misses
+    _burst_map_cache.clear()
+    _burst_map_hits = 0
+    _burst_map_misses = 0
+
+
 def layer_burst_cycles(
     shape: ConvShape,
     weights: np.ndarray,
@@ -76,7 +179,7 @@ def layer_burst_cycles(
 ) -> int:
     """Total PCU compute cycles for one layer: every burst repeats for every
     output pixel."""
-    per_pixel = int(burst_cycle_map(weights, config, code).sum())
+    per_pixel = int(cached_burst_cycle_map(weights, config, code).sum())
     return per_pixel * shape.output_pixels
 
 
@@ -88,5 +191,26 @@ def average_burst_cycles(
     """Mean burst length across a weight tensor's tiles — the paper's
     "workload-dependent latency" statistic (33 cycles for MobileNetV2,
     31 for ResNeXt101 at 16x16 INT8)."""
-    cycles = burst_cycle_map(weights, config, code)
+    cycles = cached_burst_cycle_map(weights, config, code)
     return float(cycles.mean())
+
+
+def tile_zero_lane_counts(
+    weights: np.ndarray, k: int, n: int
+) -> np.ndarray:
+    """Zero-weight lanes per (group, channel-block, ky, kx) tile —
+    including the zero padding for kernels/channels beyond the tensor
+    edge, exactly as the PCU sees each atom.  Silent-lane cycles for a
+    layer are ``(counts * effective_burst).sum() * output_pixels``."""
+    tiled = _tiled_view(weights, k, n)
+    return (tiled == 0).sum(axis=(1, 3))
+
+
+def tile_idle_cell_counts(
+    weights: np.ndarray, k: int, n: int
+) -> np.ndarray:
+    """All-zero weight rows (clock-gateable MAC cells) per tile — the
+    binary CMAC's gating statistic: ``counts.sum() * output_pixels`` is
+    the layer's ``gated_cell_cycles``."""
+    tiled = _tiled_view(weights, k, n)
+    return (~tiled.any(axis=3)).sum(axis=1)

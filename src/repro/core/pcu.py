@@ -7,13 +7,23 @@ plus an optional cache-in/out overhead at PCU level.  Partial sums are
 latched into output registers and only forwarded to the CACC once every
 cell has finished — the extra handshaking Tempus Core adds to stay dataflow
 compatible.
+
+Two cycle models of the same unit:
+
+* :class:`PcuUnit` — tick-level: every clock edge ticks every lane
+  (O(burst x k x n) interpreter work per atom); drives waveform traces and
+  protocol/back-pressure tests.
+* :class:`VectorPcuUnit` — burst-level: one tick executes a whole atom on a
+  vectorized (k, n) lane-state array and reports the burst span so the
+  simulator can jump the clock (``CycleSimulator.run_events``).  Outputs,
+  cycle counts and gating statistics are bit-identical to :class:`PcuUnit`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.pe_cell import TubPeCell
+from repro.core.pe_cell import TubCellBlock, TubPeCell
 from repro.nvdla.cmac import PsumPacket
 from repro.nvdla.config import CoreConfig
 from repro.nvdla.csc import AtomJob
@@ -128,3 +138,101 @@ class PcuUnit(Module):
         #    register decouples the next burst from the CACC handoff)
         if self._job is None and self.in_channel.valid:
             self._load(self.in_channel.pop())
+
+
+class VectorPcuUnit(Module):
+    """Burst-level cycle model of the PCU.
+
+    One tick consumes one :class:`AtomJob`, runs the whole k x n burst as a
+    handful of NumPy ops (:class:`TubCellBlock`), and records the span the
+    burst would occupy on hardware in :attr:`last_span` — feed it to
+    :meth:`CycleSimulator.run_events` as the clock jump.  Counter and cycle
+    accounting reproduce :class:`PcuUnit` exactly for a consumer that
+    drains the output channel every event (the CACC does): a burst occupies
+    ``burst_overhead + max(1, burst)`` edges, the first load after an idle
+    period exposes one pipeline-fill edge, and silent lanes accrue only
+    over compute (not overhead) edges.  Under *sustained* back-pressure the
+    two models diverge: :class:`PcuUnit`'s output register lets the next
+    burst run while a packet waits, whereas this unit serializes (it won't
+    start a burst while one is pending) — event-skipping cannot know how
+    many stall edges pass before the consumer frees the channel, so stalls
+    here count per event, not per edge.
+    """
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        in_channel: ValidReadyChannel,
+        out_channel: ValidReadyChannel,
+        code: UnaryCode | None = None,
+        name: str = "pcu-vec",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.code = code if code is not None else TwosUnaryCode()
+        self.in_channel = in_channel
+        self.out_channel = out_channel
+        self.cell_block = TubCellBlock(config.k, config.n, self.code)
+        self._pending: PsumPacket | None = None
+        self._was_busy = False
+        #: hardware cycles the most recent tick modeled (the event span).
+        self.last_span = 0
+        self.bursts = 0
+        self.burst_cycles = 0
+        self.stall_cycles = 0
+        self.silent_lane_cycles = 0
+
+    def reset(self) -> None:
+        self.cell_block = TubCellBlock(
+            self.config.k, self.config.n, self.code
+        )
+        self._pending = None
+        self._was_busy = False
+        self.last_span = 0
+        self.bursts = 0
+        self.burst_cycles = 0
+        self.stall_cycles = 0
+        self.silent_lane_cycles = 0
+
+    def tick(self) -> None:
+        span = 0
+        # 1) forward the previous burst's partial sums (overlaps the next
+        #    burst, so it contributes no span of its own mid-stream)
+        if self._pending is not None:
+            if self.out_channel.ready:
+                self.out_channel.push(self._pending)
+                self._pending = None
+            else:
+                self.stall_cycles += 1
+                span = 1
+        # 2) execute one whole atom as a single vectorized burst
+        if self._pending is None and self.in_channel.valid:
+            job = self.in_channel.pop()
+            if not self._was_busy:
+                # Pipeline fill: the load edge is only exposed when the
+                # array was idle; back-to-back loads overlap the previous
+                # burst's last compute edge.
+                span += 1
+            burst = max(
+                1,
+                self.cell_block.load_block(job.feature, job.weight_block),
+            )
+            psums, _ = self.cell_block.run_burst_vec()
+            span += self.config.burst_overhead + burst
+            self.burst_cycles += self.config.burst_overhead + burst
+            self.silent_lane_cycles += self.cell_block.silent_lanes * burst
+            self.bursts += 1
+            atom = job.atom
+            self._pending = PsumPacket(
+                group=atom.group,
+                out_y=atom.out_y,
+                out_x=atom.out_x,
+                psums=psums,
+                last=job.last,
+            )
+            self._was_busy = True
+        elif not self.in_channel.valid:
+            # Idle or drain event: one edge passes with no burst running.
+            self._was_busy = False
+            span = max(span, 1)
+        self.last_span = max(span, 1)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.core.tub_multiplier import TubMultiplier
+from repro.core.tub_multiplier import TubLaneBlock, TubMultiplier
 from repro.unary.encoding import TwosUnaryCode, UnaryCode
 
 
@@ -84,3 +84,82 @@ class TubPeCell:
             self.tick()
             cycles += 1
         return self._accumulator, cycles
+
+
+class TubCellBlock:
+    """All k PE cells of a PCU as one vectorized (k, n) lane-state array.
+
+    The batch companion to :class:`TubPeCell`: one :meth:`load_block` /
+    :meth:`run_burst_vec` pair executes a whole k x n atom — every cell's
+    adder tree and accumulator — as a handful of NumPy reductions instead
+    of ``burst x k x n`` interpreter ticks.  State and results are
+    bit-identical to k lockstepped :class:`TubPeCell` instances.
+    """
+
+    def __init__(self, k: int, n: int, code: UnaryCode | None = None) -> None:
+        if k < 1 or n < 1:
+            raise SimulationError(f"cell block needs k, n >= 1, got {k}x{n}")
+        self.k = k
+        self.n = n
+        self.code = code if code is not None else TwosUnaryCode()
+        self.lanes = TubLaneBlock((k, n), self.code)
+        self._burst_cycles = 0
+        self._loaded = False
+
+    def load_block(
+        self, feature: np.ndarray, weight_block: np.ndarray
+    ) -> int:
+        """Latch one feature atom against all k weight atoms.
+
+        The feature row is broadcast across the k cells (the PCU holds the
+        transposed feature column stable for the whole burst).
+
+        Returns:
+            the burst length of the whole tile (max over all k x n lanes).
+        """
+        feature = np.asarray(feature, dtype=np.int64)
+        weight_block = np.asarray(weight_block, dtype=np.int64)
+        if feature.shape != (self.n,) or weight_block.shape != (
+            self.k,
+            self.n,
+        ):
+            raise SimulationError(
+                f"atom shapes {feature.shape}/{weight_block.shape} != "
+                f"({self.n},)/({self.k}, {self.n})"
+            )
+        lane_cycles = self.lanes.load_block(
+            np.broadcast_to(feature, (self.k, self.n)), weight_block
+        )
+        self._burst_cycles = int(lane_cycles.max(initial=0))
+        self._loaded = True
+        return self._burst_cycles
+
+    @property
+    def busy(self) -> bool:
+        return self.lanes.busy
+
+    @property
+    def partial_sums(self) -> np.ndarray:
+        """(k,) accumulated dot products (exact once the burst completes)."""
+        return self.lanes.products.sum(axis=1)
+
+    @property
+    def silent_lanes(self) -> int:
+        """Zero-weight lanes across the whole tile (the gating statistic)."""
+        if not self._loaded:
+            return 0
+        return int(self.lanes.silent_mask.sum())
+
+    def step_vec(self, cycles: int = 1) -> np.ndarray:
+        """Advance every cell ``cycles`` edges; returns the (k,) adder-tree
+        outputs summed over the jump."""
+        if not self._loaded:
+            raise SimulationError("cell block stepped before load_block()")
+        return self.lanes.step_vec(cycles).sum(axis=1)
+
+    def run_burst_vec(self) -> tuple[np.ndarray, int]:
+        """Run the whole burst; returns ((k,) partial sums, cycles)."""
+        if not self._loaded:
+            raise SimulationError("cell block run before load_block()")
+        products, burst = self.lanes.run_burst_vec()
+        return products.sum(axis=1), burst

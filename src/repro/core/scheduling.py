@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.latency import burst_cycle_map
+from repro.core.latency import burst_cycle_map, cached_burst_cycle_map
 from repro.errors import DataflowError
 from repro.nvdla.config import CoreConfig
 from repro.unary.encoding import TwosUnaryCode, UnaryCode
@@ -106,8 +106,10 @@ def optimize_tile_schedule(
     kernel_order = np.argsort(kernel_key, kind="stable")[::-1]
     channel_order = np.argsort(channel_key, kind="stable")[::-1]
 
-    baseline = int(burst_cycle_map(weights, config, code).sum())
+    baseline = int(cached_burst_cycle_map(weights, config, code).sum())
     permuted = weights[kernel_order][:, channel_order]
+    # The permuted tensor is fresh each call — caching it would only churn
+    # the LRU, so use the uncached map here.
     optimized = int(burst_cycle_map(permuted, config, code).sum())
 
     if optimized >= baseline:

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.sim.trace import TraceRecorder
 from repro.unary.encoder import TemporalEncoder
@@ -72,6 +74,98 @@ class TubMultiplier:
         while self.busy:
             self.tick()
         return self._accumulator
+
+
+class TubLaneBlock:
+    """Vectorized batch of tub lanes advancing in lockstep.
+
+    The per-edge :class:`TubMultiplier` ticks one lane one cycle at a time;
+    this block holds the *same* lane state (residual weight magnitude, sign,
+    latched activation, accumulator) for an arbitrary array of lanes and
+    advances all of them by whole multi-cycle jumps with closed-form NumPy
+    ops.  A tub burst is exact — after ``m`` cycles a 2s-unary lane has
+    drained ``min(2 * m, |w|)`` of its magnitude — so jumping by the burst
+    length loses nothing against edge-by-edge ticking (the vectorized
+    engine's correctness argument; the equivalence tests assert it).
+    """
+
+    def __init__(
+        self, shape: "int | tuple[int, ...]", code: UnaryCode | None = None
+    ) -> None:
+        self.code = code if code is not None else TwosUnaryCode()
+        self.shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        self._activations = np.zeros(self.shape, dtype=np.int64)
+        self._signs = np.ones(self.shape, dtype=np.int64)
+        self._remaining = np.zeros(self.shape, dtype=np.int64)
+        self._accumulators = np.zeros(self.shape, dtype=np.int64)
+        self._silent = np.zeros(self.shape, dtype=bool)
+        self._loaded = False
+
+    def load_block(
+        self, activations: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Latch one operand pair per lane; returns per-lane burst lengths.
+
+        The batch equivalent of :meth:`TubMultiplier.load` over every lane
+        at once.
+        """
+        activations = np.asarray(activations, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if activations.shape != self.shape or weights.shape != self.shape:
+            raise SimulationError(
+                f"operand shapes {activations.shape}/{weights.shape} != "
+                f"{self.shape}"
+            )
+        self._activations = activations
+        self._signs = np.where(weights < 0, -1, 1).astype(np.int64)
+        self._remaining = np.abs(weights)
+        self._accumulators = np.zeros(self.shape, dtype=np.int64)
+        self._silent = weights == 0
+        self._loaded = True
+        return self.code.cycles_array(weights)
+
+    @property
+    def busy_mask(self) -> np.ndarray:
+        """Lanes still streaming pulses."""
+        return self._remaining > 0
+
+    @property
+    def silent_mask(self) -> np.ndarray:
+        """Lanes latched with a zero weight (inactive the whole burst)."""
+        if not self._loaded:
+            return np.zeros(self.shape, dtype=bool)
+        return self._silent
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._remaining.any())
+
+    @property
+    def products(self) -> np.ndarray:
+        """Per-lane accumulators (the exact products once drained)."""
+        return self._accumulators
+
+    def step_vec(self, cycles: int = 1) -> np.ndarray:
+        """Advance every lane ``cycles`` edges in one jump; returns the
+        per-lane contribution emitted over the jump."""
+        if not self._loaded:
+            raise SimulationError("lane block stepped before load_block()")
+        if cycles < 0:
+            raise SimulationError(f"cannot step {cycles} cycles")
+        after = self.code.magnitude_after(self._remaining, cycles)
+        emitted = (self._remaining - after) * self._signs
+        contribution = emitted * self._activations
+        self._accumulators += contribution
+        self._remaining = after
+        return contribution
+
+    def run_burst_vec(self) -> tuple[np.ndarray, int]:
+        """Drain every lane; returns (products, burst cycles consumed)."""
+        if not self._loaded:
+            raise SimulationError("lane block run before load_block()")
+        burst = int(self.code.cycles_array(self._remaining).max(initial=0))
+        self.step_vec(burst)
+        return self._accumulators, burst
 
 
 @dataclass(frozen=True)

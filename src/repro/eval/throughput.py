@@ -6,6 +6,11 @@ than binary cells?  Since both arrays generate k partial sums per "issue"
 copies), the iso-area *throughput* improvement equals the area ratio
 ``binary_area / tub_area``.  Fig. 9 extends this by fitting the area-ratio
 trend over n and projecting to n = 65536.
+
+:func:`measured_layer_throughput` complements the analytic view with
+*simulated* throughput from the burst-level engine (``mode="burst"``),
+which makes full-scale measured MACs/cycle numbers cheap enough for the
+benchmark harness.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import SynthesisError
+from repro.errors import DataflowError, SynthesisError
 
 
 def iso_area_improvement(binary_area: float, tub_area: float) -> float:
@@ -63,3 +68,60 @@ def project_improvement(
     """Fig. 9's red-dotted-line projection: extrapolate the fitted trend
     to a large n (the paper projects n = 65536)."""
     return fit_improvement_scaling(n_values, improvements).predict(target_n)
+
+
+@dataclass(frozen=True)
+class MeasuredThroughput:
+    """Simulated throughput of one layer on one engine.
+
+    Attributes:
+        engine: "tempus" or "binary".
+        cycles: total simulated cycles.
+        macs: useful multiply-accumulates in the layer.
+        gated_cell_cycles: clock-gated (idle/silent) cell-cycles observed.
+    """
+
+    engine: str
+    cycles: int
+    macs: int
+    gated_cell_cycles: int
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / max(self.cycles, 1)
+
+
+def measured_layer_throughput(
+    config,
+    activations: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    engine: str = "tempus",
+    mode: str = "burst",
+) -> MeasuredThroughput:
+    """Run one layer through a simulated engine and report throughput.
+
+    Defaults to the vectorized burst engine, which is bit-identical to the
+    tick-level simulation, so the numbers are *measured* (per-atom burst
+    timing, gating statistics included) rather than analytic — yet fast
+    enough for full-scale layers.
+    """
+    # Imported here so this analysis module stays importable without the
+    # core packages in docs-only contexts.
+    from repro.core.tempus_core import TempusCore
+    from repro.nvdla.conv_core import ConvolutionCore
+
+    if engine == "tempus":
+        core = TempusCore(config, mode=mode)
+    elif engine == "binary":
+        core = ConvolutionCore(config, mode=mode)
+    else:
+        raise DataflowError(f"unknown engine {engine!r}")
+    result = core.run_layer(activations, weights, stride, padding)
+    return MeasuredThroughput(
+        engine=engine,
+        cycles=result.cycles,
+        macs=result.macs,
+        gated_cell_cycles=result.gated_cell_cycles,
+    )

@@ -20,6 +20,7 @@ Table I; `tests/models/test_calibration.py` locks them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -100,6 +101,16 @@ class QuantizedLayer:
     def zero_fraction(self) -> float:
         return float(np.mean(self.codes == 0))
 
+    @cached_property
+    def codes64(self) -> np.ndarray:
+        """The codes widened to int64, materialised once per layer — a
+        stable tensor identity, so identity-keyed caches (the burst-map
+        cache in :mod:`repro.core.latency`) hit across repeated profiling
+        and scheduling passes over the same model."""
+        codes = self.codes.astype(np.int64)
+        codes.setflags(write=False)
+        return codes
+
 
 @dataclass(frozen=True)
 class QuantizedModel:
@@ -122,7 +133,7 @@ class QuantizedModel:
     def iter_weight_tensors(self):
         """Yield (layer_spec, int64 codes) pairs for profiling."""
         for q in self.layers:
-            yield q.layer, q.codes.astype(np.int64)
+            yield q.layer, q.codes64
 
 
 def quantize_layer(

@@ -5,6 +5,11 @@ cycle; the unit registers the k partial sums through one pipeline stage
 (NVDLA retiming) before handing them to the CACC.  Cells whose kernel slot
 is unused (kernel count not a multiple of k) are clock-gated, mirroring
 NVDLA's idle-cell gating.
+
+:class:`CmacUnit` models the unit cell by cell (one Python loop per atom);
+:class:`VectorCmacUnit` computes the same atom as one (k, n) x (n,) matrix
+product — the burst-level engine's baseline counterpart, bit-identical in
+outputs, cycle counts and gating statistics.
 """
 
 from __future__ import annotations
@@ -125,3 +130,74 @@ class CmacUnit(Module):
             self._pipe = self._compute(job)
             self.atoms_processed += 1
             self.active_cycles += 1
+
+
+def vector_psums(
+    feature: np.ndarray, weight_block: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """One whole CMAC atom as a single matrix product.
+
+    Returns:
+        ((k,) partial sums with idle cells zeroed, idle cell count) —
+        exactly what k :class:`BinaryMacCell` instances produce one dot at
+        a time.
+    """
+    weight_block = np.asarray(weight_block, dtype=np.int64)
+    feature = np.asarray(feature, dtype=np.int64)
+    idle = ~weight_block.any(axis=1)
+    psums = weight_block @ feature
+    psums[idle] = 0
+    return psums, int(idle.sum())
+
+
+class VectorCmacUnit(Module):
+    """Vectorized cycle model of the CMAC: identical 1-atom/cycle timing,
+    but each atom's k dot products execute as one NumPy matrix product.
+
+    Exposes :attr:`last_span` (always 1 — every binary atom is one cycle)
+    so it can drive :meth:`CycleSimulator.run_events` interchangeably with
+    the multi-cycle :class:`~repro.core.pcu.VectorPcuUnit`.
+    """
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        in_channel: ValidReadyChannel,
+        out_channel: ValidReadyChannel,
+        name: str = "cmac-vec",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.in_channel = in_channel
+        self.out_channel = out_channel
+        self._pipe: PsumPacket | None = None
+        self.last_span = 1
+        self.atoms_processed = 0
+        self.gated_cell_cycles = 0
+        self.active_cycles = 0
+
+    def reset(self) -> None:
+        self._pipe = None
+        self.last_span = 1
+        self.atoms_processed = 0
+        self.gated_cell_cycles = 0
+        self.active_cycles = 0
+
+    def tick(self) -> None:
+        if self._pipe is not None and self.out_channel.ready:
+            self.out_channel.push(self._pipe)
+            self._pipe = None
+        if self._pipe is None and self.in_channel.valid:
+            job = self.in_channel.pop()
+            psums, idle = vector_psums(job.feature, job.weight_block)
+            self.gated_cell_cycles += idle
+            self._pipe = PsumPacket(
+                group=job.atom.group,
+                out_y=job.atom.out_y,
+                out_x=job.atom.out_x,
+                psums=psums,
+                last=job.last,
+            )
+            self.atoms_processed += 1
+            self.active_cycles += 1
+        self.last_span = 1

@@ -1,9 +1,13 @@
 """NVDLA Convolution Core (CC): CSC + CMAC + CACC.
 
-Two execution paths with identical results:
+Three execution paths with identical results:
 
 * ``mode="cycle"`` — full handshaked cycle simulation (CBUF, sequencer, MAC
-  array, accumulator), used for small layers and protocol tests.
+  array, accumulator) with the cell-by-cell CMAC, used for protocol tests.
+* ``mode="burst"`` — the same handshaked pipeline driven by the vectorized
+  :class:`~repro.nvdla.cmac.VectorCmacUnit` (one matrix product per atom);
+  bit-identical outputs, cycles and gating stats at NumPy speed — the fair
+  baseline for Tempus Core's burst engine.
 * ``mode="fast"`` — vectorised NumPy output plus an analytic cycle count
   (one atom per cycle + pipeline fill), used for whole-CNN profiling.
 
@@ -20,7 +24,7 @@ import numpy as np
 from repro.errors import DataflowError
 from repro.nvdla.cacc import CaccUnit
 from repro.nvdla.cbuf import ConvBuffer
-from repro.nvdla.cmac import CmacUnit
+from repro.nvdla.cmac import CmacUnit, VectorCmacUnit
 from repro.nvdla.config import CoreConfig
 from repro.nvdla.csc import SequenceController
 from repro.nvdla.dataflow import ConvShape, golden_conv2d, validate_layer
@@ -63,11 +67,12 @@ class ConvolutionCore:
     ) -> None:
         """Args:
         config: array geometry/precision (defaults to 16x16 INT8).
-        mode: "fast" (vectorised + analytic cycles) or "cycle"
-            (handshaked simulation).
+        mode: "fast" (vectorised + analytic cycles), "cycle" (tick-level
+            handshaked simulation) or "burst" (handshaked simulation with
+            the vectorized CMAC).
         cbuf: optional pre-built convolution buffer.
         """
-        if mode not in ("fast", "cycle"):
+        if mode not in ("fast", "cycle", "burst"):
             raise DataflowError(f"unknown mode {mode!r}")
         self.config = config if config is not None else CoreConfig()
         self.mode = mode
@@ -132,7 +137,9 @@ class ConvolutionCore:
         )
         if self.mode == "fast":
             return self._run_fast(shape, activations, weights)
-        return self._run_cycle(shape, activations, weights)
+        return self._run_cycle(
+            shape, activations, weights, vectorized=self.mode == "burst"
+        )
 
     def _run_fast(
         self,
@@ -156,6 +163,7 @@ class ConvolutionCore:
         shape: ConvShape,
         activations: np.ndarray,
         weights: np.ndarray,
+        vectorized: bool = False,
     ) -> ConvResult:
         self.cbuf.load_layer(
             shape, activations, weights, self.config.precision
@@ -163,7 +171,11 @@ class ConvolutionCore:
         csc_to_mac: ValidReadyChannel = ValidReadyChannel("csc->cmac")
         mac_to_acc: ValidReadyChannel = ValidReadyChannel("cmac->cacc")
         csc = SequenceController(self.config, shape, self.cbuf, csc_to_mac)
-        cmac = CmacUnit(self.config, csc_to_mac, mac_to_acc)
+        cmac = (
+            VectorCmacUnit(self.config, csc_to_mac, mac_to_acc)
+            if vectorized
+            else CmacUnit(self.config, csc_to_mac, mac_to_acc)
+        )
         cacc = CaccUnit(self.config, shape, mac_to_acc)
         sim = CycleSimulator([csc, cmac, cacc])
         sim.reset()

@@ -55,6 +55,28 @@ class UnaryCode(ABC):
     def _cycles_array_from_magnitude(self, mags: np.ndarray) -> np.ndarray:
         ...
 
+    def magnitude_after(
+        self, mags: np.ndarray, cycles: "int | np.ndarray"
+    ) -> np.ndarray:
+        """Residual magnitude left in each encoder after ``cycles`` clock
+        edges — the closed form behind burst-sized simulation jumps: the
+        pulses a lane emits in ``cycles`` edges sum to
+        ``mags - magnitude_after(mags, cycles)`` exactly.
+        """
+        mags = np.asarray(mags, dtype=np.int64)
+        if np.any(mags < 0):
+            raise EncodingError("magnitude must be non-negative")
+        cycles = np.asarray(cycles, dtype=np.int64)
+        if np.any(cycles < 0):
+            raise EncodingError("cycle count must be non-negative")
+        return self._magnitude_after(mags, cycles)
+
+    @abstractmethod
+    def _magnitude_after(
+        self, mags: np.ndarray, cycles: np.ndarray
+    ) -> np.ndarray:
+        ...
+
 
 class PureUnaryCode(UnaryCode):
     """tuGEMM-style code: magnitude ``m`` -> ``m`` pulses of value 1."""
@@ -74,6 +96,11 @@ class PureUnaryCode(UnaryCode):
 
     def _cycles_array_from_magnitude(self, mags: np.ndarray) -> np.ndarray:
         return mags
+
+    def _magnitude_after(
+        self, mags: np.ndarray, cycles: np.ndarray
+    ) -> np.ndarray:
+        return np.maximum(mags - cycles, 0)
 
 
 class TwosUnaryCode(UnaryCode):
@@ -99,6 +126,13 @@ class TwosUnaryCode(UnaryCode):
 
     def _cycles_array_from_magnitude(self, mags: np.ndarray) -> np.ndarray:
         return (mags + 1) // 2
+
+    def _magnitude_after(
+        self, mags: np.ndarray, cycles: np.ndarray
+    ) -> np.ndarray:
+        # Value-2 pulses while >= 2 remains, one value-1 pulse for an odd
+        # tail: m cycles always drain min(2 * m, mag).
+        return np.maximum(mags - 2 * cycles, 0)
 
 
 _CODES = {

@@ -6,8 +6,13 @@ import pytest
 from repro.core.latency import (
     average_burst_cycles,
     burst_cycle_map,
+    burst_map_cache_stats,
+    cached_burst_cycle_map,
+    clear_burst_map_cache,
     layer_burst_cycles,
+    tile_idle_cell_counts,
     tile_max_magnitudes,
+    tile_zero_lane_counts,
     worst_case_cycles,
 )
 from repro.errors import DataflowError
@@ -94,3 +99,79 @@ class TestLayerCycles:
         weights = INT8.random_array(rng, (16, 16, 1, 1))
         mean = average_burst_cycles(weights, CoreConfig(k=16, n=16))
         assert mean >= 60
+
+
+class TestBurstMapCache:
+    def test_hit_on_same_tensor(self, rng):
+        clear_burst_map_cache()
+        weights = rng.integers(-128, 128, (4, 4, 3, 3))
+        config = CoreConfig(k=2, n=2)
+        first = cached_burst_cycle_map(weights, config)
+        second = cached_burst_cycle_map(weights, config)
+        assert second is first
+        stats = burst_map_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_miss_on_different_geometry(self, rng):
+        clear_burst_map_cache()
+        weights = rng.integers(-128, 128, (4, 4, 3, 3))
+        a = cached_burst_cycle_map(weights, CoreConfig(k=2, n=2))
+        b = cached_burst_cycle_map(weights, CoreConfig(k=4, n=4))
+        assert a.shape != b.shape
+        assert burst_map_cache_stats()["misses"] == 2
+
+    def test_matches_uncached(self, rng):
+        clear_burst_map_cache()
+        weights = rng.integers(-128, 128, (5, 3, 2, 2))
+        config = CoreConfig(k=2, n=2, burst_overhead=1)
+        assert np.array_equal(
+            cached_burst_cycle_map(weights, config),
+            burst_cycle_map(weights, config),
+        )
+
+    def test_cached_map_is_read_only(self, rng):
+        clear_burst_map_cache()
+        weights = rng.integers(-128, 128, (4, 4, 1, 1))
+        cycles = cached_burst_cycle_map(weights, CoreConfig(k=2, n=2))
+        with pytest.raises(ValueError):
+            cycles[0, 0, 0, 0] = 99
+
+    def test_recycled_id_does_not_false_hit(self):
+        """A dead array whose id is reused must not serve stale cycles."""
+        clear_burst_map_cache()
+        config = CoreConfig(k=2, n=2)
+        first = np.full((2, 2, 1, 1), 8, dtype=np.int64)
+        assert cached_burst_cycle_map(first, config)[0, 0, 0, 0] == 4
+        key_id = id(first)
+        del first
+        # Even if a new tensor lands on the same id, the weakref identity
+        # check forces a recompute.
+        second = np.full((2, 2, 1, 1), 2, dtype=np.int64)
+        cycles = cached_burst_cycle_map(second, config)
+        assert cycles[0, 0, 0, 0] == 1
+        del key_id
+
+
+class TestTileGatingCounts:
+    def test_zero_lane_counts_include_edge_padding(self):
+        weights = np.ones((3, 3, 1, 1), dtype=np.int64)
+        weights[0, 0] = 0
+        counts = tile_zero_lane_counts(weights, 2, 2)
+        # Tile (0, 0): one real zero; padded lanes elsewhere count too.
+        assert counts[0, 0, 0, 0] == 1
+        # Bottom-right tile covers kernel 2 / channel 2 only: 3 padded
+        # lanes out of 4 are zero.
+        assert counts[1, 1, 0, 0] == 3
+
+    def test_idle_cell_counts(self):
+        weights = np.zeros((4, 2, 1, 1), dtype=np.int64)
+        weights[0, 0] = 5  # kernel 0 active; kernels 1-3 all zero
+        counts = tile_idle_cell_counts(weights, 2, 2)
+        assert counts[0, 0, 0, 0] == 1  # kernel 1 idle in group 0
+        assert counts[1, 0, 0, 0] == 2  # kernels 2, 3 idle in group 1
+
+    def test_bad_rank(self):
+        with pytest.raises(DataflowError):
+            tile_zero_lane_counts(np.zeros((2, 2)), 2, 2)
+        with pytest.raises(DataflowError):
+            tile_idle_cell_counts(np.zeros((2, 2)), 2, 2)

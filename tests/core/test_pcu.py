@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.core.pcu import PcuUnit
+from repro.core.pcu import PcuUnit, VectorPcuUnit
 from repro.nvdla.config import CoreConfig
 from repro.nvdla.csc import AtomJob
 from repro.nvdla.dataflow import Atom
@@ -126,3 +126,67 @@ class TestStats:
         pcu.reset()
         assert pcu.bursts == 0
         assert pcu.burst_cycles == 0
+
+
+def build_vector_pcu(k=2, n=4, burst_overhead=0):
+    config = CoreConfig(k=k, n=n, burst_overhead=burst_overhead)
+    inp = ValidReadyChannel("in")
+    out = ValidReadyChannel("out")
+    return VectorPcuUnit(config, inp, out), inp, out
+
+
+class TestVectorPcu:
+    """The burst-level PCU: one tick per atom, spans match the tick-level
+    unit's occupancy exactly."""
+
+    def test_psums_exact_in_one_tick(self, rng):
+        pcu, inp, out = build_vector_pcu()
+        feature = rng.integers(-128, 128, 4)
+        weights = rng.integers(-128, 128, (2, 4))
+        inp.push(make_job(feature, weights, last=True))
+        pcu.tick()  # executes the whole burst
+        pcu.tick()  # forwards the latched packet
+        assert out.valid
+        assert list(out.pop().psums) == list(weights @ feature)
+
+    def test_span_is_fill_plus_burst(self):
+        pcu, inp, out = build_vector_pcu()
+        weights = np.zeros((2, 4), dtype=np.int64)
+        weights[1, 2] = -9  # ceil(9/2) = 5 cycle burst
+        inp.push(make_job(np.ones(4), weights))
+        pcu.tick()
+        assert pcu.last_span == 1 + 5  # idle-load edge + burst
+        assert pcu.burst_cycles == 5
+        inp.push(make_job(np.ones(4), weights))
+        pcu.tick()
+        assert pcu.last_span == 5  # back-to-back: load overlaps
+        out.pop()
+        pcu.tick()
+        assert pcu.last_span == 1  # drain event
+
+    def test_overhead_in_span_not_in_gating(self):
+        pcu, inp, out = build_vector_pcu(burst_overhead=2)
+        weights = np.array([[0, 0, 0, 4], [0, 4, 0, 4]])
+        inp.push(make_job(np.ones(4), weights))
+        pcu.tick()
+        assert pcu.last_span == 1 + 2 + 2  # fill + overhead + burst
+        assert pcu.burst_cycles == 4
+        # 5 silent lanes x 2 compute cycles; overhead edges don't gate.
+        assert pcu.silent_lane_cycles == 10
+
+    def test_all_zero_tile_one_cycle(self):
+        pcu, inp, out = build_vector_pcu()
+        inp.push(make_job(np.ones(4), np.zeros((2, 4)), last=True))
+        pcu.tick()
+        assert pcu.burst_cycles == 1
+        pcu.tick()
+        assert out.pop().psums.sum() == 0
+
+    def test_reset(self):
+        pcu, inp, out = build_vector_pcu()
+        inp.push(make_job(np.ones(4), np.ones((2, 4))))
+        pcu.tick()
+        pcu.reset()
+        assert pcu.bursts == 0
+        assert pcu.burst_cycles == 0
+        assert pcu.silent_lane_cycles == 0

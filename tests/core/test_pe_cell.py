@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.core.pe_cell import TubPeCell
+from repro.core.pe_cell import TubCellBlock, TubPeCell
 
 
 class TestDotProduct:
@@ -85,3 +85,69 @@ class TestValidation:
         tree = cell.tick()
         assert tree == 3 * 2 + 5 * (-2)
         assert not cell.busy
+
+
+class TestCellBlock:
+    """The vectorized (k, n) cell block matches k lockstepped PE cells."""
+
+    def test_matches_scalar_cells(self, rng):
+        k, n = 3, 5
+        feature = rng.integers(-128, 128, n)
+        weight_block = rng.integers(-128, 128, (k, n))
+        block = TubCellBlock(k, n)
+        burst = block.load_block(feature, weight_block)
+        psums, cycles = block.run_burst_vec()
+
+        cells = [TubPeCell(n) for _ in range(k)]
+        scalar_burst = max(
+            cell.load_atom(feature, weight_block[i])
+            for i, cell in enumerate(cells)
+        )
+        assert burst == scalar_burst
+        assert cycles == scalar_burst
+        for i, cell in enumerate(cells):
+            result, _ = cell.run_burst()
+            assert psums[i] == result
+        assert np.array_equal(psums, weight_block @ feature)
+
+    def test_step_vec_partial_sums_track_cells(self, rng):
+        k, n = 2, 3
+        feature = np.array([2, -3, 4])
+        weight_block = np.array([[5, 0, -6], [1, 7, 2]])
+        block = TubCellBlock(k, n)
+        block.load_block(feature, weight_block)
+        cells = [TubPeCell(n) for _ in range(k)]
+        for i, cell in enumerate(cells):
+            cell.load_atom(feature, weight_block[i])
+        while block.busy:
+            block.step_vec(1)
+            for cell in cells:
+                if cell.busy:
+                    cell.tick()
+            assert list(block.partial_sums) == [
+                cell.partial_sum for cell in cells
+            ]
+
+    def test_silent_lanes_counts_whole_tile(self):
+        block = TubCellBlock(2, 4)
+        block.load_block(
+            np.ones(4, dtype=np.int64),
+            np.array([[0, 0, 0, 4], [0, 4, 0, 4]]),
+        )
+        assert block.silent_lanes == 5
+
+    def test_all_zero_tile(self):
+        block = TubCellBlock(2, 2)
+        burst = block.load_block(np.ones(2), np.zeros((2, 2)))
+        assert burst == 0
+        psums, cycles = block.run_burst_vec()
+        assert cycles == 0
+        assert not psums.any()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TubCellBlock(0, 2)
+        with pytest.raises(SimulationError):
+            TubCellBlock(2, 2).load_block(np.ones(3), np.ones((2, 2)))
+        with pytest.raises(SimulationError):
+            TubCellBlock(2, 2).run_burst_vec()

@@ -1,9 +1,10 @@
 """Tests for the tub multiplier lane."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.core.tub_multiplier import TubMultiplier, tub_multiply
+from repro.core.tub_multiplier import TubLaneBlock, TubMultiplier, tub_multiply
 from repro.unary.encoding import PureUnaryCode
 from repro.utils.intrange import INT4, INT8
 
@@ -95,3 +96,48 @@ class TestTrace:
     def test_render_mentions_operands(self):
         text = tub_multiply(3, -4, spec=INT4).render()
         assert "a=3" in text and "w=-4" in text
+
+
+class TestLaneBlock:
+    """The vectorized lane block mirrors per-lane ticking exactly."""
+
+    def test_matches_scalar_lanes_exhaustive_int4(self):
+        values = np.arange(-8, 8, dtype=np.int64)
+        acts, weights = np.meshgrid(values, values)
+        block = TubLaneBlock(acts.shape)
+        cycles = block.load_block(acts, weights)
+        products, burst = block.run_burst_vec()
+        assert np.array_equal(products, acts * weights)
+        assert np.array_equal(cycles, (np.abs(weights) + 1) // 2)
+        assert burst == 4  # ceil(8 / 2)
+
+    def test_step_vec_partial_progress_matches_ticks(self):
+        acts = np.array([3, -5, 7, 0], dtype=np.int64)
+        weights = np.array([-7, 6, 0, 9], dtype=np.int64)
+        block = TubLaneBlock(4)
+        block.load_block(acts, weights)
+        lanes = [TubMultiplier() for _ in range(4)]
+        for lane, a, w in zip(lanes, acts, weights):
+            lane.load(int(a), int(w))
+        for _ in range(3):  # three single-cycle jumps
+            block.step_vec(1)
+            for lane in lanes:
+                if lane.busy:
+                    lane.tick()
+            assert list(block.products) == [lane.product for lane in lanes]
+
+    def test_silent_mask_is_zero_weights(self):
+        block = TubLaneBlock(3)
+        block.load_block(np.array([1, 2, 3]), np.array([0, 5, 0]))
+        assert list(block.silent_mask) == [True, False, True]
+        block.run_burst_vec()
+        # Drained lanes are not retroactively "silent".
+        assert list(block.silent_mask) == [True, False, True]
+
+    def test_step_before_load_raises(self):
+        with pytest.raises(SimulationError):
+            TubLaneBlock(2).step_vec()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(SimulationError):
+            TubLaneBlock(3).load_block(np.zeros(2), np.zeros(2))

@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.errors import SynthesisError
+from repro.errors import DataflowError, SynthesisError
 from repro.eval.throughput import (
     fit_improvement_scaling,
     iso_area_improvement,
+    measured_layer_throughput,
     project_improvement,
 )
 
@@ -50,3 +51,39 @@ class TestScalingFit:
         ratios = [5.1, 11.4, 12.2]  # paper INT8 area ratios
         projected = project_improvement(n_values, ratios, 65536)
         assert 15 < projected < 60  # paper reports 26x
+
+
+class TestMeasuredThroughput:
+    def test_burst_engine_measurement(self):
+        import numpy as np
+
+        from repro.nvdla.config import CoreConfig
+        from repro.utils.intrange import INT8
+        from repro.utils.rng import make_rng
+
+        rng = make_rng("throughput")
+        config = CoreConfig(k=2, n=4)
+        activations = INT8.random_array(rng, (4, 4, 4))
+        weights = INT8.random_array(rng, (2, 4, 3, 3))
+        tempus = measured_layer_throughput(
+            config, activations, weights, padding=1, engine="tempus"
+        )
+        binary = measured_layer_throughput(
+            config, activations, weights, padding=1, engine="binary"
+        )
+        assert tempus.macs == binary.macs
+        assert tempus.cycles > binary.cycles  # bursts are multi-cycle
+        assert 0 < tempus.macs_per_cycle < binary.macs_per_cycle
+
+    def test_unknown_engine(self):
+        import numpy as np
+
+        from repro.nvdla.config import CoreConfig
+
+        with pytest.raises(DataflowError):
+            measured_layer_throughput(
+                CoreConfig(k=2, n=2),
+                np.zeros((2, 3, 3), dtype=np.int64),
+                np.zeros((2, 2, 1, 1), dtype=np.int64),
+                engine="quantum",
+            )

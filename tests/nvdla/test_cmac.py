@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.nvdla.cmac import BinaryMacCell, CmacUnit
+from repro.nvdla.cmac import (
+    BinaryMacCell,
+    CmacUnit,
+    VectorCmacUnit,
+    vector_psums,
+)
 from repro.nvdla.config import CoreConfig
 from repro.nvdla.csc import AtomJob
 from repro.nvdla.dataflow import Atom
@@ -111,3 +116,54 @@ class TestCmacUnit:
         unit.reset()
         assert unit.atoms_processed == 0
         assert not out.valid
+
+
+class TestVectorPsums:
+    def test_matches_cell_loop(self, rng):
+        weights = rng.integers(-128, 128, (4, 8))
+        weights[2] = 0  # one idle cell
+        feature = rng.integers(-128, 128, 8)
+        psums, idle = vector_psums(feature, weights)
+        assert idle == 1
+        for index in range(4):
+            cell = BinaryMacCell(8)
+            cell.load_weights(weights[index])
+            expected = 0 if cell.is_idle else cell.dot(feature)
+            assert psums[index] == expected
+
+
+class TestVectorCmacUnit:
+    def test_same_timing_and_stats_as_scalar(self, rng):
+        config = CoreConfig(k=2, n=4)
+        jobs = []
+        for index in range(3):
+            weights = rng.integers(-128, 128, (2, 4))
+            if index == 1:
+                weights[0] = 0
+            jobs.append(
+                make_job(rng.integers(-128, 128, 4), weights, last=index == 2)
+            )
+
+        def drive(unit_cls):
+            inp = ValidReadyChannel("in")
+            out = ValidReadyChannel("out")
+            unit = unit_cls(config, inp, out)
+            pending = list(jobs)
+            packets = []
+            for _ in range(10):
+                if pending and inp.ready:
+                    inp.push(pending.pop(0))
+                unit.tick()
+                if out.valid:
+                    packets.append(out.pop())
+            return unit, packets
+
+        scalar, scalar_packets = drive(CmacUnit)
+        vector, vector_packets = drive(VectorCmacUnit)
+        assert vector.atoms_processed == scalar.atoms_processed == 3
+        assert vector.gated_cell_cycles == scalar.gated_cell_cycles == 1
+        assert len(vector_packets) == len(scalar_packets) == 3
+        for a, b in zip(scalar_packets, vector_packets):
+            assert list(a.psums) == list(b.psums)
+            assert a.last == b.last
+        assert vector.last_span == 1

@@ -79,3 +79,44 @@ class TestCycleSimulator:
         sim = CycleSimulator([Probe("first"), Probe("second")])
         sim.step()
         assert order == ["first", "second"]
+
+
+class TestBurstStepping:
+    def test_step_many_single_tick_multi_cycle(self):
+        counter = Counter()
+        sim = CycleSimulator([counter])
+        sim.step_many(10)
+        assert counter.value == 1  # one tick...
+        assert sim.cycle == 10  # ...spanning ten clock edges
+
+    def test_step_many_one_equals_step(self):
+        counter = Counter()
+        sim = CycleSimulator([counter])
+        sim.step_many(1)
+        assert counter.value == 1
+        assert sim.cycle == 1
+
+    def test_step_many_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            CycleSimulator().step_many(0)
+
+    def test_run_events_skips_by_span(self):
+        counter = Counter()
+        sim = CycleSimulator([counter])
+        consumed = sim.run_events(
+            lambda: counter.value >= 3, span=lambda: 7
+        )
+        assert counter.value == 3
+        assert consumed == 21
+        assert sim.cycle == 21
+
+    def test_run_events_clamps_span_to_one(self):
+        counter = Counter()
+        sim = CycleSimulator([counter])
+        sim.run_events(lambda: counter.value >= 2, span=lambda: 0)
+        assert sim.cycle == 2
+
+    def test_run_events_deadlock_guard(self):
+        sim = CycleSimulator([Counter()])
+        with pytest.raises(SimulationError):
+            sim.run_events(lambda: False, span=lambda: 5, max_cycles=50)

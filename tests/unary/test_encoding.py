@@ -95,3 +95,39 @@ class TestLookup:
     def test_unknown_raises(self):
         with pytest.raises(EncodingError):
             get_code("stochastic")
+
+
+class TestMagnitudeAfter:
+    """Closed-form multi-cycle drain (the burst engine's jump primitive)."""
+
+    def test_twos_unary_matches_pulse_by_pulse(self):
+        code = TwosUnaryCode()
+        for magnitude in range(0, 130):
+            pulses = code.encode_magnitude(magnitude)
+            for cycles in range(0, len(pulses) + 2):
+                expected = magnitude - sum(pulses[:cycles])
+                got = code.magnitude_after(
+                    np.array([magnitude]), cycles
+                )[0]
+                assert got == expected
+
+    def test_pure_unary_matches_pulse_by_pulse(self):
+        code = PureUnaryCode()
+        for magnitude in (0, 1, 5, 128):
+            for cycles in (0, 1, 3, 200):
+                assert code.magnitude_after(
+                    np.array([magnitude]), cycles
+                )[0] == max(magnitude - cycles, 0)
+
+    def test_vectorised_over_arrays(self):
+        code = TwosUnaryCode()
+        mags = np.array([0, 1, 2, 7, 128])
+        assert list(code.magnitude_after(mags, 2)) == [0, 0, 0, 3, 124]
+
+    def test_negative_magnitude_raises(self):
+        with pytest.raises(EncodingError):
+            TwosUnaryCode().magnitude_after(np.array([-1]), 1)
+
+    def test_negative_cycles_raises(self):
+        with pytest.raises(EncodingError):
+            TwosUnaryCode().magnitude_after(np.array([5]), -1)
