@@ -1,0 +1,157 @@
+"""In-tree PEP 517/660 build backend, pure standard library.
+
+The reproduction environment is fully offline: the isolated build
+environment pip creates for PEP 517 hooks contains *nothing* (it cannot
+download setuptools), and the main environment has setuptools but no
+``wheel`` package — so setuptools' ``editable_wheel``/``dist_info``
+commands (which require ``bdist_wheel``) cannot run either.  This
+backend therefore implements the two things ``pip install -e .`` needs
+with only the standard library:
+
+* ``prepare_metadata_for_build_wheel``/``..._build_editable`` —
+  translate the static ``[project]`` table of pyproject.toml into core
+  metadata;
+* ``build_editable`` — a PEP 660 editable wheel is just a zip holding a
+  ``.pth`` file pointing at ``src/`` plus the ``.dist-info`` directory.
+
+Non-editable ``build_wheel``/``build_sdist`` are delegated to
+setuptools for environments that do have the full toolchain.
+"""
+
+import base64
+import hashlib
+import os
+import zipfile
+
+_ROOT = os.path.dirname(os.path.abspath(__file__))
+
+
+def _project():
+    import tomllib
+
+    with open(os.path.join(_ROOT, "pyproject.toml"), "rb") as handle:
+        return tomllib.load(handle)["project"]
+
+
+def _metadata_lines(project):
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {project['name']}",
+        f"Version: {project['version']}",
+    ]
+    if "description" in project:
+        lines.append(f"Summary: {project['description']}")
+    if "requires-python" in project:
+        lines.append(f"Requires-Python: {project['requires-python']}")
+    for requirement in project.get("dependencies", ()):
+        lines.append(f"Requires-Dist: {requirement}")
+    for extra, requirements in project.get(
+        "optional-dependencies", {}
+    ).items():
+        lines.append(f"Provides-Extra: {extra}")
+        for requirement in requirements:
+            lines.append(
+                f"Requires-Dist: {requirement}; extra == \"{extra}\""
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _dist_info_name(project):
+    return (
+        f"{project['name'].replace('-', '_')}-{project['version']}"
+        ".dist-info"
+    )
+
+
+# ----------------------------------------------------------------------
+# Hooks pip probes inside the bare isolated environment.
+# ----------------------------------------------------------------------
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def prepare_metadata_for_build_wheel(
+    metadata_directory, config_settings=None
+):
+    project = _project()
+    dist_info = os.path.join(metadata_directory, _dist_info_name(project))
+    os.makedirs(dist_info, exist_ok=True)
+    with open(
+        os.path.join(dist_info, "METADATA"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write(_metadata_lines(project))
+    return os.path.basename(dist_info)
+
+
+def prepare_metadata_for_build_editable(
+    metadata_directory, config_settings=None
+):
+    return prepare_metadata_for_build_wheel(
+        metadata_directory, config_settings
+    )
+
+
+# ----------------------------------------------------------------------
+# PEP 660 editable wheel, built with zipfile alone.
+# ----------------------------------------------------------------------
+def build_editable(
+    wheel_directory, config_settings=None, metadata_directory=None
+):
+    project = _project()
+    name = project["name"].replace("-", "_")
+    version = project["version"]
+    dist_info = _dist_info_name(project)
+    wheel_name = f"{name}-{version}-py3-none-any.whl"
+
+    files = {
+        f"__editable__.{name}.pth": os.path.join(_ROOT, "src") + "\n",
+        f"{dist_info}/METADATA": _metadata_lines(project),
+        f"{dist_info}/WHEEL": (
+            "Wheel-Version: 1.0\n"
+            "Generator: _repro_build_backend\n"
+            "Root-Is-Purelib: true\n"
+            "Tag: py3-none-any\n"
+        ),
+    }
+    record_rows = []
+    for path, content in files.items():
+        data = content.encode("utf-8")
+        digest = base64.urlsafe_b64encode(
+            hashlib.sha256(data).digest()
+        ).rstrip(b"=").decode("ascii")
+        record_rows.append(f"{path},sha256={digest},{len(data)}")
+    record_rows.append(f"{dist_info}/RECORD,,")
+
+    wheel_path = os.path.join(wheel_directory, wheel_name)
+    with zipfile.ZipFile(wheel_path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for path, content in files.items():
+            zf.writestr(path, content)
+        zf.writestr(f"{dist_info}/RECORD", "\n".join(record_rows) + "\n")
+    return wheel_name
+
+
+# ----------------------------------------------------------------------
+# Full builds: delegate to setuptools (needs the complete toolchain).
+# ----------------------------------------------------------------------
+def build_wheel(
+    wheel_directory, config_settings=None, metadata_directory=None
+):
+    from setuptools import build_meta
+
+    return build_meta.build_wheel(
+        wheel_directory, config_settings, metadata_directory
+    )
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    from setuptools import build_meta
+
+    return build_meta.build_sdist(sdist_directory, config_settings)

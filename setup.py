@@ -1,9 +1,11 @@
-"""Setuptools shim.
+"""Setuptools shim for direct ``python setup.py`` invocations.
 
-The reproduction environment is fully offline and has no ``wheel`` package,
-so PEP 517 editable installs (which build a wheel) cannot run.  This shim
-lets ``pip install -e .`` take the legacy ``setup.py develop`` path; all
-metadata lives in pyproject.toml.
+``pip install -e .`` does NOT go through this file: pyproject.toml
+points at the in-tree ``_repro_build_backend``, which builds the PEP 660
+editable wheel with the standard library alone (the offline environment
+has no ``wheel`` package, so setuptools' own editable path cannot run).
+All metadata lives in pyproject.toml; setuptools >= 61 reads it from
+there when this shim is executed directly.
 """
 
 from setuptools import setup

@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig7                 # one experiment, full scale
     python -m repro run table2 --quick       # reduced parameters
     python -m repro run all --out results/   # every experiment
+    python -m repro serve-bench --quick      # batched network inference
 """
 
 from __future__ import annotations
@@ -41,11 +42,75 @@ def _build_parser() -> argparse.ArgumentParser:
         default="results",
         help="artifact directory (default: results/)",
     )
+    server = commands.add_parser(
+        "serve-bench",
+        help=(
+            "batched full-network inference benchmark "
+            "(writes BENCH_networks.json)"
+        ),
+    )
+    server.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        help="zoo model names (default: mobilenet_v2 resnet18)",
+    )
+    server.add_argument(
+        "--batch",
+        type=int,
+        default=4,
+        help="images per network run (default: 4)",
+    )
+    server.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller width/resolution preset",
+    )
+    server.add_argument(
+        "--no-schedule",
+        action="store_true",
+        help="disable burst-aware tile scheduling",
+    )
+    server.add_argument(
+        "--out",
+        default="results",
+        help="artifact directory (default: results/)",
+    )
     return parser
+
+
+def _serve_bench(args) -> int:
+    # Imported here: the runtime pulls in the model zoo + scheduling
+    # stack, which `repro list` does not need.
+    from repro.errors import ReproError
+    from repro.runtime.bench import (
+        DEFAULT_MODELS,
+        render_benchmark,
+        run_network_benchmark,
+    )
+
+    models = tuple(args.models) if args.models else DEFAULT_MODELS
+    try:
+        payload = run_network_benchmark(
+            models=models,
+            batch=args.batch,
+            quick=args.quick,
+            scheduling=not args.no_schedule,
+            out_dir=args.out,
+        )
+    except ReproError as error:
+        print(f"serve-bench failed: {error}", file=sys.stderr)
+        return 2
+    print(render_benchmark(payload))
+    if "artifact" in payload:
+        print(f"\nwrote {payload['artifact']}")
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "serve-bench":
+        return _serve_bench(args)
     if args.command == "list":
         for experiment_id in sorted(EXPERIMENTS):
             driver = EXPERIMENTS[experiment_id]

@@ -89,15 +89,43 @@ def burst_cycle_map(
 # plus the view's memory location (data pointer, shape, strides) — fresh
 # view objects over the same storage hit the same entry.  A weakref to
 # the base array guards against a recycled ``id`` false-hitting after
-# the owner dies.  In-place mutation of a cached weight tensor is NOT
-# detected — treat quantized weights as immutable (every producer in
-# this repo does; :attr:`QuantizedLayer.codes64` is even marked
-# read-only).
+# the owner dies.  Each entry additionally stores a cheap content
+# fingerprint (first/last element + plain and position-weighted sums)
+# of the weights it was computed from; a lookup whose fingerprint
+# mismatches invalidates the entry and recomputes, so in-place mutation
+# of a cached tensor is detected unless the edit preserves all four
+# checksum components at once (which no single-element write and no
+# simple permutation/compensating rewrite can).  Producers in this repo
+# still treat quantized weights as immutable —
+# :attr:`QuantizedLayer.codes64` is marked read-only — the fingerprint
+# is a correctness backstop, not a license to mutate.
 # ----------------------------------------------------------------------
 _BURST_MAP_CACHE_SIZE = 4096
 _burst_map_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
 _burst_map_hits = 0
 _burst_map_misses = 0
+_burst_map_invalidations = 0
+
+
+def _content_fingerprint(weights: np.ndarray) -> tuple:
+    """Cheap content checksum: first/last element, wrap-around sum, and
+    a position-weighted sum.  Two vectorised O(size) passes — far
+    cheaper than recomputing the burst map.  Every single-element
+    mutation moves the plain sum; permutations and compensating
+    +d/-d pairs preserve the plain sum but move the position-weighted
+    one (a swap of unequal values at positions i < j shifts it by
+    (j - i) x (difference)), so a mutation only slips through if it
+    preserves both sums and both end elements simultaneously."""
+    flat = weights.reshape(-1)
+    if flat.size == 0:
+        return (0, 0, 0, 0)
+    positions = np.arange(1, flat.size + 1, dtype=np.int64)
+    return (
+        int(flat[0]),
+        int(flat[-1]),
+        int(np.sum(flat, dtype=np.int64)),
+        int(np.dot(flat, positions)),
+    )
 
 
 def _burst_map_key(
@@ -130,15 +158,25 @@ def cached_burst_cycle_map(
 
     Returns the cached map as read-only; copy before mutating.
     """
-    global _burst_map_hits, _burst_map_misses
+    global _burst_map_hits, _burst_map_misses, _burst_map_invalidations
     code = code if code is not None else TwosUnaryCode()
     weights = np.asarray(weights)
     owner, key = _burst_map_key(weights, config, code)
+    # An own-storage read-only array cannot be mutated under the cache,
+    # so skip the O(size) checksum on the hit path for the dominant
+    # producers (codes64, schedule-permuted tensors — all frozen).
+    immutable = weights.base is None and not weights.flags.writeable
+    fingerprint = None if immutable else _content_fingerprint(weights)
     entry = _burst_map_cache.get(key)
     if entry is not None and entry[0]() is owner:
-        _burst_map_cache.move_to_end(key)
-        _burst_map_hits += 1
-        return entry[1]
+        if fingerprint is None or entry[2] == fingerprint:
+            _burst_map_cache.move_to_end(key)
+            _burst_map_hits += 1
+            return entry[1]
+        # The cached tensor was mutated in place under the cache: drop
+        # the stale map and fall through to a recompute.
+        del _burst_map_cache[key]
+        _burst_map_invalidations += 1
     cycles = burst_cycle_map(weights, config, code)
     cycles.setflags(write=False)
     try:
@@ -146,7 +184,12 @@ def cached_burst_cycle_map(
     except TypeError:
         # Some ndarray subclasses reject weakrefs; skip caching for them.
         return cycles
-    _burst_map_cache[key] = (owner_ref, cycles)
+    # Always store the checksum (the miss already pays an O(size) map
+    # computation): if the tensor is ever made writable and mutated,
+    # later lookups still catch it.
+    if fingerprint is None:
+        fingerprint = _content_fingerprint(weights)
+    _burst_map_cache[key] = (owner_ref, cycles, fingerprint)
     _burst_map_cache.move_to_end(key)
     _burst_map_misses += 1
     while len(_burst_map_cache) > _BURST_MAP_CACHE_SIZE:
@@ -159,16 +202,18 @@ def burst_map_cache_stats() -> dict:
     return {
         "hits": _burst_map_hits,
         "misses": _burst_map_misses,
+        "invalidations": _burst_map_invalidations,
         "entries": len(_burst_map_cache),
     }
 
 
 def clear_burst_map_cache() -> None:
     """Drop all cached maps and reset the counters."""
-    global _burst_map_hits, _burst_map_misses
+    global _burst_map_hits, _burst_map_misses, _burst_map_invalidations
     _burst_map_cache.clear()
     _burst_map_hits = 0
     _burst_map_misses = 0
+    _burst_map_invalidations = 0
 
 
 def layer_burst_cycles(

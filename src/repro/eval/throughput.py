@@ -70,6 +70,15 @@ def project_improvement(
     return fit_improvement_scaling(n_values, improvements).predict(target_n)
 
 
+def images_per_million_cycles(images: int, cycles: int) -> float:
+    """Network-level throughput normalisation used by the batched
+    runtime benchmark (``results/BENCH_networks.json``): how many whole
+    images the conv pipeline finishes per million core cycles."""
+    if images < 0 or cycles < 0:
+        raise DataflowError("images and cycles must be non-negative")
+    return images * 1e6 / max(cycles, 1)
+
+
 @dataclass(frozen=True)
 class MeasuredThroughput:
     """Simulated throughput of one layer on one engine.

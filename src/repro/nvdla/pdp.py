@@ -114,3 +114,19 @@ class Pdp:
                     )
         self.windows_processed += channels * out_h * out_w
         return out
+
+    def apply_many(self, activations: np.ndarray) -> np.ndarray:
+        """Batched :meth:`apply` over a (B, K, H, W) tensor.
+
+        Pooling treats every (image, channel) plane independently, so
+        the batch folds into the channel axis for one vectorised pass —
+        bit-identical to per-image :meth:`apply`.
+        """
+        values = np.asarray(activations, dtype=np.int64)
+        if values.ndim != 4:
+            raise DataflowError("PDP batch expects a (B, K, H, W) tensor")
+        batch, channels, height, width = values.shape
+        pooled = self.apply(
+            values.reshape(batch * channels, height, width)
+        )
+        return pooled.reshape(batch, channels, *pooled.shape[1:])

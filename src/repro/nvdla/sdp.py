@@ -99,17 +99,31 @@ class Sdp:
         Returns:
             int64 tensor saturated to the configured output precision.
         """
-        config = self.config
         values = np.asarray(psums, dtype=np.int64)
         if values.ndim != 3:
             raise DataflowError("SDP expects a (K, OH, OW) tensor")
+        # One arithmetic path for single and batched tensors: a single
+        # image is a batch of one.
+        return self.apply_many(values[None])[0]
+
+    def apply_many(self, psums: np.ndarray) -> np.ndarray:
+        """Batched :meth:`apply` over a (B, K, OH, OW) tensor.
+
+        One vectorised pass for the whole batch; every operation is
+        elementwise or broadcast over the batch axis, so per-image
+        results are bit-identical to :meth:`apply`.
+        """
+        config = self.config
+        values = np.asarray(psums, dtype=np.int64)
+        if values.ndim != 4:
+            raise DataflowError("SDP batch expects a (B, K, OH, OW) tensor")
         if config.bias is not None:
             bias = np.asarray(config.bias, dtype=np.int64)
-            if bias.shape != (values.shape[0],):
+            if bias.shape != (values.shape[1],):
                 raise DataflowError(
-                    f"bias shape {bias.shape} != ({values.shape[0]},)"
+                    f"bias shape {bias.shape} != ({values.shape[1]},)"
                 )
-            values = values + bias[:, None, None]
+            values = values + bias[None, :, None, None]
         if config.activation == "relu":
             values = np.maximum(values, 0)
         elif config.activation == "prelu":

@@ -1,0 +1,24 @@
+"""Batched full-network inference runtime.
+
+Compiles ``models/zoo.py`` topologies into NVDLA pipeline stages
+(:mod:`repro.runtime.lowering`), executes them batched on either
+convolution engine (:mod:`repro.runtime.runner`) and benchmarks
+networks across engines (:mod:`repro.runtime.bench`).
+"""
+
+from repro.runtime.lowering import (
+    CompiledNetwork,
+    StagePlan,
+    lower_model,
+    stage_atoms,
+)
+from repro.runtime.runner import NetworkResult, NetworkRunner
+
+__all__ = [
+    "CompiledNetwork",
+    "NetworkResult",
+    "NetworkRunner",
+    "StagePlan",
+    "lower_model",
+    "stage_atoms",
+]

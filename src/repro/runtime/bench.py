@@ -1,0 +1,208 @@
+"""Network-level inference benchmark (results/BENCH_networks.json).
+
+Runs zoo models end to end on both convolution engines through the
+batched runtime, cross-checks bit-identity, and records per-network
+cycles, images-per-million-cycles, burst-map cache hit rates and the
+tempus-vs-binary / scheduling cycle ratios.  Shared by
+``python -m repro serve-bench`` and
+``benchmarks/bench_network_inference.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.latency import burst_map_cache_stats
+from repro.errors import DataflowError
+from repro.eval.throughput import images_per_million_cycles
+from repro.models.zoo import MODEL_NAMES
+from repro.nvdla.config import CoreConfig
+from repro.runtime.runner import NetworkRunner
+
+#: Default benchmark workload: the two Table-I models with the most
+#: dissimilar structure (depthwise-heavy vs dense-residual).
+DEFAULT_MODELS = ("mobilenet_v2", "resnet18")
+
+#: (scale, input_size) presets: full keeps enough resolution for the
+#: per-layer cycle structure to matter; quick is a CI-speed smoke.
+FULL_PRESET = (0.25, 64)
+QUICK_PRESET = (0.125, 32)
+
+
+def _engine_record(result) -> dict:
+    return {
+        "conv_cycles": int(result.conv_cycles),
+        "cycles_per_image": float(result.cycles_per_image),
+        "images_per_million_cycles": float(
+            images_per_million_cycles(
+                result.batch_size, result.conv_cycles
+            )
+        ),
+        "macs_per_cycle": float(result.macs_per_cycle),
+        "cache": {
+            "hits": int(result.cache["hits"]),
+            "misses": int(result.cache["misses"]),
+            "hit_rate": float(result.cache["hit_rate"]),
+        },
+    }
+
+
+def run_network_benchmark(
+    models: "tuple[str, ...] | list[str]" = DEFAULT_MODELS,
+    batch: int = 4,
+    quick: bool = False,
+    scheduling: bool = True,
+    config: CoreConfig | None = None,
+    out_dir: "str | Path | None" = "results",
+) -> dict:
+    """Benchmark batched network inference on both engines.
+
+    Args:
+        models: zoo model names (>= 1; the artifact is meant to carry
+            at least two for cross-model comparison).
+        batch: images per network run (>= 1).
+        quick: smaller width/resolution preset for smoke runs.
+        scheduling: apply burst-aware tile scheduling.
+        config: array geometry (defaults to 16x16 INT8).
+        out_dir: where BENCH_networks.json is written (None = don't).
+
+    Returns:
+        the record written to the artifact.
+    """
+    unknown = [name for name in models if name not in MODEL_NAMES]
+    if unknown:
+        raise DataflowError(
+            f"unknown model(s) {', '.join(unknown)}; available: "
+            f"{', '.join(MODEL_NAMES)}"
+        )
+    if batch < 1:
+        raise DataflowError("batch must be >= 1")
+    config = config if config is not None else CoreConfig()
+    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
+
+    runners = {
+        engine: NetworkRunner(
+            config,
+            engine=engine,
+            scheduling=scheduling,
+            scale=scale,
+            input_size=input_size,
+        )
+        for engine in ("binary", "tempus")
+    }
+    unscheduled = NetworkRunner(
+        config,
+        engine="tempus",
+        scheduling=False,
+        scale=scale,
+        input_size=input_size,
+    )
+
+    model_records = []
+    for name in models:
+        binary = runners["binary"].run(name, batch)
+        tempus = runners["tempus"].run(name, batch)
+        if not np.array_equal(binary.output, tempus.output):
+            raise DataflowError(
+                f"{name}: engines diverged — dataflow compliance "
+                "violated"
+            )
+        # With scheduling off the tempus run IS the baseline — don't
+        # pay a third forward pass for a ratio that is 1.0 by
+        # construction.
+        baseline = unscheduled.run(name, batch) if scheduling else tempus
+        record = {
+            "model": name,
+            "batch": int(batch),
+            "stages": len(tempus.stages),
+            "macs_per_image": int(
+                tempus.macs // max(tempus.batch_size, 1)
+            ),
+            "outputs_bit_identical": True,
+            "engines": {
+                "binary": _engine_record(binary),
+                "tempus": _engine_record(tempus),
+            },
+            # Cycle-for-cycle, the tub core trades latency for
+            # area/power (the paper's Table 2 story); > means binary
+            # finishes the batch in fewer cycles.
+            "binary_vs_tempus_cycles": float(
+                tempus.conv_cycles / max(binary.conv_cycles, 1)
+            ),
+            "tempus_vs_binary_throughput": float(
+                binary.conv_cycles / max(tempus.conv_cycles, 1)
+            ),
+            "scheduling_speedup": float(
+                baseline.conv_cycles / max(tempus.conv_cycles, 1)
+            ),
+        }
+        model_records.append(record)
+
+    cache = burst_map_cache_stats()
+    payload = {
+        "benchmark": "network_inference",
+        "config": {
+            "k": config.k,
+            "n": config.n,
+            "precision": config.precision.name,
+        },
+        "quick": bool(quick),
+        "scheduling": bool(scheduling),
+        "scale": scale,
+        "input_size": input_size,
+        "models": model_records,
+        "burst_map_cache_totals": {
+            "hits": cache["hits"],
+            "misses": cache["misses"],
+            "entries": cache["entries"],
+        },
+    }
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        artifact = out_path / "BENCH_networks.json"
+        artifact.write_text(json.dumps(payload, indent=2) + "\n")
+        payload["artifact"] = str(artifact)
+    return payload
+
+
+def render_benchmark(payload: dict) -> str:
+    """Human-readable summary of a benchmark payload."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for record in payload["models"]:
+        tempus = record["engines"]["tempus"]
+        binary = record["engines"]["binary"]
+        rows.append(
+            (
+                record["model"],
+                record["batch"],
+                f"{tempus['conv_cycles']:,}",
+                f"{binary['conv_cycles']:,}",
+                f"{tempus['images_per_million_cycles']:.3f}",
+                f"{tempus['cache']['hit_rate']:.2f}",
+                f"{record['scheduling_speedup']:.3f}x",
+            )
+        )
+    config = payload["config"]
+    return format_table(
+        [
+            "model",
+            "batch",
+            "tempus cycles",
+            "binary cycles",
+            "img/Mcycle (tempus)",
+            "cache hit",
+            "sched gain",
+        ],
+        rows,
+        title=(
+            f"batched network inference on {config['k']}x{config['n']} "
+            f"{config['precision']} "
+            f"(scale {payload['scale']}, input {payload['input_size']})"
+        ),
+    )

@@ -1,0 +1,332 @@
+"""Lower a ``models/zoo.py`` topology into executable pipeline stages.
+
+The zoo records every convolution layer of the paper's eight Table-I
+CNNs — channel counts, kernels, strides, groups and the spatial size
+each layer sees — as a flat, ordered list (branchy modules are recorded
+in execution order).  This module compiles that list plus the model's
+synthesized quantized weights (:mod:`repro.models.weights`) into
+:class:`StagePlan` objects the batched runtime executes end to end on
+the NVDLA pipeline:
+
+* **conv** — each layer's per-group int64 weight tensors, optionally
+  permuted by the burst-aware tile scheduler
+  (:mod:`repro.core.scheduling`): the channel order is applied to the
+  layer's input slice and the kernel order is unwound on its outputs,
+  so the permutation is semantics-preserving while the stored tensors
+  produce the *optimized* burst maps;
+* **SDP** — a deterministic per-layer requantization (multiplier/shift
+  derived from the layer's mean kernel L1 mass, per-kernel bias, ReLU
+  on every hidden layer) that keeps activations in the core's integer
+  format, as a calibrated deployment would;
+* **PDP** — max-pool stages inserted at the spatial-reduction seams the
+  zoo builders recorded with ``net.pool(...)`` (a layer whose declared
+  input is at most half its predecessor's output);
+* **seam adapters** — branchy graphs are executed sequentially, so at
+  module boundaries (concats, splits) the declared input of the next
+  layer can disagree with the previous output.  Channel tiling/slicing
+  and corner crop/zero-pad bridge those seams; both are deterministic
+  functions of the declared shapes, so the batched and per-image paths
+  stay bit-identical.
+
+Spatial rescaling (``input_size=``) shrinks every layer's declared
+resolution by a common factor so full topologies stay cheap to execute
+in simulation; channel structure (and therefore burst behaviour) is
+untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scheduling import TileSchedule, apply_schedule, \
+    optimize_tile_schedule
+from repro.errors import DataflowError
+from repro.models.layers import ConvLayerSpec
+from repro.models.weights import QuantizedModel
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.pdp import PdpConfig
+from repro.nvdla.sdp import SdpConfig, requant_params_from_scale
+from repro.unary.encoding import TwosUnaryCode, UnaryCode
+from repro.utils.intrange import IntSpec, int_spec
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One lowered convolution layer plus the seam adapters before it.
+
+    Attributes:
+        name: the zoo layer name.
+        layer: the (possibly spatially rescaled) layer spec.
+        weights: per-group int64 weight tensors, schedule-permuted.
+        schedules: per-group :class:`TileSchedule` (None = identity).
+        kernel_restores: per-group inverse kernel permutations (None =
+            identity), precomputed so runs don't argsort per image.
+        sdp: the layer's requantization pass.
+        fit_channels: channel count the input is tiled/sliced to.
+        pool: optional PDP stage bridging a spatial-reduction seam.
+        fit_hw: (H, W) the input is cropped/zero-padded to after the
+            optional pool.
+    """
+
+    name: str
+    layer: ConvLayerSpec
+    weights: tuple
+    schedules: tuple
+    kernel_restores: tuple
+    sdp: SdpConfig
+    fit_channels: int
+    pool: PdpConfig | None
+    fit_hw: tuple
+
+    @property
+    def groups(self) -> int:
+        return self.layer.groups
+
+
+@dataclass(frozen=True)
+class CompiledNetwork:
+    """A zoo model compiled for the batched runtime.
+
+    Attributes:
+        name: zoo model name.
+        config: MAC-array geometry/precision it was lowered for.
+        precision: activation/weight integer format.
+        code: unary code used for burst-latency accounting.
+        stages: ordered conv stages (adapters embedded).
+        input_shape: (C, H, W) the first layer consumes.
+        scheduling: whether tile scheduling was applied.
+    """
+
+    name: str
+    config: CoreConfig
+    precision: IntSpec
+    code: UnaryCode
+    stages: tuple
+    input_shape: tuple
+    scheduling: bool
+
+    @property
+    def output_shape(self) -> tuple:
+        last = self.stages[-1].layer
+        return (last.out_channels, last.out_height, last.out_width)
+
+    @property
+    def macs_per_image(self) -> int:
+        return sum(stage.layer.macs for stage in self.stages)
+
+
+def _rescale_layer(layer: ConvLayerSpec, factor: float) -> ConvLayerSpec:
+    """Scale a layer's declared spatial size, keeping the kernel legal."""
+    if factor == 1.0:
+        return layer
+
+    def scaled(value: int, kernel: int, pad: int) -> int:
+        floor = max(1, kernel - 2 * pad)
+        return max(floor, int(round(value * factor)))
+
+    return dataclasses.replace(
+        layer,
+        in_height=scaled(layer.in_height, layer.kernel_h, layer.padding_h),
+        in_width=scaled(layer.in_width, layer.kernel_w, layer.padding_w),
+    )
+
+
+def _layer_sdp(
+    layer: ConvLayerSpec,
+    codes: np.ndarray,
+    precision: IntSpec,
+    model_name: str,
+    index: int,
+    final: bool,
+) -> SdpConfig:
+    """Deterministic requantization for one layer.
+
+    The rescale maps typical partial sums back into the activation
+    format: with post-ReLU activations averaging about half the code
+    range, a kernel's partial sum scales with its L1 weight mass, so
+    ``2 / mean(sum |w|)`` recentres the output distribution on the
+    format's range.  The final stage keeps full psum resolution in a
+    wide format (standard practice for logits).
+    """
+    magnitudes = np.abs(codes.astype(np.int64))
+    kernel_l1 = magnitudes.sum(axis=(1, 2, 3)).astype(np.float64)
+    mean_l1 = float(kernel_l1.mean()) if kernel_l1.size else 1.0
+    multiplier, shift = requant_params_from_scale(
+        2.0 / max(2.0, mean_l1)
+    )
+    bias_rng = make_rng("runtime", model_name, "bias", index)
+    half = max(1, precision.max_magnitude // 2)
+    bias = bias_rng.integers(
+        -half, half + 1, layer.out_channels
+    ).astype(np.int64)
+    if final:
+        return SdpConfig(
+            out_precision=int_spec(24),
+            bias=bias,
+            multiplier=multiplier,
+            shift=shift,
+        )
+    return SdpConfig(
+        out_precision=precision,
+        bias=bias,
+        multiplier=multiplier,
+        shift=shift,
+        activation="relu",
+    )
+
+
+def _group_plans(
+    codes64: np.ndarray,
+    layer: ConvLayerSpec,
+    config: CoreConfig,
+    code: UnaryCode,
+    scheduling: bool,
+) -> tuple[tuple, tuple, tuple]:
+    """Split a layer's weights per group and (optionally) schedule each."""
+    kernels_per_group = layer.out_channels // layer.groups
+    weights = []
+    schedules = []
+    restores = []
+    for group in range(layer.groups):
+        # Dense layers keep the codes64 tensor itself (not a fresh
+        # slice view) so identity-keyed consumers see a stable object.
+        tensor = (
+            codes64
+            if layer.groups == 1
+            else codes64[
+                group * kernels_per_group : (group + 1)
+                * kernels_per_group
+            ]
+        )
+        schedule: TileSchedule | None = None
+        restore = None
+        if scheduling:
+            candidate = optimize_tile_schedule(tensor, config, code)
+            if candidate.cycles_saved > 0:
+                permuted = apply_schedule(tensor, candidate)
+                permuted.setflags(write=False)
+                tensor = permuted
+                schedule = candidate
+                restore = np.argsort(candidate.kernel_order)
+        weights.append(tensor)
+        schedules.append(schedule)
+        restores.append(restore)
+    return tuple(weights), tuple(schedules), tuple(restores)
+
+
+def lower_model(
+    model: QuantizedModel,
+    config: CoreConfig | None = None,
+    input_size: int | None = None,
+    scheduling: bool = True,
+    code: UnaryCode | None = None,
+) -> CompiledNetwork:
+    """Compile a quantized zoo model into batched-runtime stages.
+
+    Args:
+        model: output of :func:`repro.models.weights.load_quantized_model`
+            (its precision must match ``config.precision``).
+        config: MAC-array geometry (defaults to 16x16 at the model's
+            precision).
+        input_size: optionally rescale the network's declared input
+            resolution (e.g. 32 runs a 224x224 topology at 32x32).
+        scheduling: apply burst-aware tile scheduling per layer/group.
+        code: unary code for latency accounting (default 2s-unary).
+    """
+    if not model.layers:
+        raise DataflowError(f"model {model.name!r} has no conv layers")
+    code = code if code is not None else TwosUnaryCode()
+    config = (
+        config
+        if config is not None
+        else CoreConfig(precision=model.precision)
+    )
+    if config.precision.width != model.precision.width:
+        raise DataflowError(
+            f"config precision {config.precision.name} != model "
+            f"precision {model.precision.name}"
+        )
+
+    native = model.layers[0].layer.in_height
+    factor = 1.0 if input_size is None else input_size / native
+    if factor <= 0 or factor > 1:
+        raise DataflowError(
+            f"input_size {input_size} must shrink the native {native} "
+            "resolution"
+        )
+
+    stages = []
+    previous: tuple | None = None  # (C, H, W) of the previous output
+    last_index = len(model.layers) - 1
+    for index, quantized in enumerate(model.layers):
+        layer = _rescale_layer(quantized.layer, factor)
+        weights, schedules, restores = _group_plans(
+            quantized.codes64, layer, config, code, scheduling
+        )
+        sdp = _layer_sdp(
+            layer,
+            quantized.codes,
+            model.precision,
+            model.name,
+            index,
+            final=index == last_index,
+        )
+
+        pool: PdpConfig | None = None
+        if previous is not None:
+            _, prev_h, prev_w = previous
+            target_h, target_w = layer.in_height, layer.in_width
+            if prev_h >= 2 * target_h and prev_w >= 2 * target_w:
+                ratio = min(prev_h // target_h, prev_w // target_w)
+                pool = PdpConfig("max", kernel=ratio)
+        stages.append(
+            StagePlan(
+                name=layer.name,
+                layer=layer,
+                weights=weights,
+                schedules=schedules,
+                kernel_restores=restores,
+                sdp=sdp,
+                fit_channels=layer.in_channels,
+                pool=pool,
+                fit_hw=(layer.in_height, layer.in_width),
+            )
+        )
+        previous = (
+            layer.out_channels,
+            layer.out_height,
+            layer.out_width,
+        )
+
+    first = stages[0].layer
+    return CompiledNetwork(
+        name=model.name,
+        config=config,
+        precision=model.precision,
+        code=code,
+        stages=tuple(stages),
+        input_shape=(first.in_channels, first.in_height, first.in_width),
+        scheduling=scheduling,
+    )
+
+
+def stage_atoms(stage: StagePlan, config: CoreConfig) -> int:
+    """Atoms the CSC issues for one stage (all groups, one image)."""
+    layer = stage.layer
+    kernels_per_group = layer.out_channels // layer.groups
+    kernel_groups = math.ceil(kernels_per_group / config.k)
+    channel_blocks = math.ceil(layer.channels_per_group / config.n)
+    per_group = (
+        kernel_groups
+        * layer.out_height
+        * layer.out_width
+        * channel_blocks
+        * layer.kernel_h
+        * layer.kernel_w
+    )
+    return per_group * layer.groups

@@ -1,0 +1,482 @@
+"""Batched multi-network inference on the simulated NVDLA pipeline.
+
+:class:`NetworkRunner` executes any compiled ``models/zoo.py`` topology
+end to end (conv -> SDP -> PDP) at batch size B.  Two execution paths
+produce bit-identical outputs:
+
+* :meth:`NetworkRunner.run` — the **vectorized** path: every layer runs
+  once for the whole batch (one einsum pass per kernel-window position
+  via :func:`~repro.nvdla.dataflow.golden_conv2d_batched`, batched SDP /
+  PDP), with cycle accounting from the engines' analytic models — which
+  the engine-equivalence tests pin to the tick/burst simulations.
+* :meth:`NetworkRunner.run_per_image` — the **reference** path: each
+  image flows through the real convolution cores
+  (:class:`~repro.core.tempus_core.TempusCore` /
+  :class:`~repro.nvdla.conv_core.ConvolutionCore`) one layer-group at a
+  time, in any of their execution modes (``fast``/``burst``/``cycle``).
+
+Both paths share the burst-map LRU in :mod:`repro.core.latency`: the
+per-pixel burst map of every (layer, group) weight tensor is computed
+once and then hits across batch items, engines and repeated runs — the
+per-run hit/miss delta is reported on every :class:`NetworkResult`.
+
+Tempus cycle counts depend only on the weights (a burst lasts as long
+as its tile's largest magnitude), so when lowering applied burst-aware
+tile scheduling the stored permuted tensors automatically yield the
+*optimized* cycle counts while the channel/kernel reorders keep outputs
+bit-identical to the unscheduled network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.latency import burst_map_cache_stats, \
+    cached_burst_cycle_map
+from repro.errors import DataflowError
+from repro.models.weights import load_quantized_model
+from repro.nvdla.config import CoreConfig
+from repro.nvdla.dataflow import golden_conv2d_batched
+from repro.nvdla.pdp import Pdp
+from repro.nvdla.pipeline import StageResult
+from repro.nvdla.sdp import Sdp
+from repro.runtime.lowering import CompiledNetwork, StagePlan, \
+    lower_model, stage_atoms
+from repro.unary.encoding import UnaryCode
+from repro.utils.rng import make_rng
+
+_ENGINES = ("tempus", "binary")
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """One batched forward pass through a compiled network.
+
+    Attributes:
+        model: zoo model name.
+        engine: "tempus" or "binary".
+        batch_size: images in the batch.
+        output: (B, K, OH, OW) integer logits tensor.
+        stages: per-stage execution records (cycles cover the batch).
+        conv_cycles: total conv-core cycles across the batch.
+        macs: useful multiply-accumulates across the batch.
+        cache: burst-map cache delta for this run
+            ({"hits", "misses", "hit_rate"}).
+    """
+
+    model: str
+    engine: str
+    batch_size: int
+    output: np.ndarray
+    stages: tuple
+    conv_cycles: int
+    macs: int
+    cache: dict
+
+    @property
+    def cycles_per_image(self) -> float:
+        return self.conv_cycles / max(self.batch_size, 1)
+
+    @property
+    def images_per_million_cycles(self) -> float:
+        from repro.eval.throughput import images_per_million_cycles
+
+        return images_per_million_cycles(
+            self.batch_size, self.conv_cycles
+        )
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / max(self.conv_cycles, 1)
+
+
+class NetworkRunner:
+    """Compile-once, run-many batched inference over the model zoo."""
+
+    def __init__(
+        self,
+        config: CoreConfig | None = None,
+        engine: str = "tempus",
+        scheduling: bool = True,
+        scale: float = 1.0,
+        input_size: int | None = None,
+        code: UnaryCode | None = None,
+    ) -> None:
+        """Args:
+        config: MAC-array geometry/precision (defaults to 16x16 INT8).
+        engine: "tempus" or "binary".
+        scheduling: apply burst-aware tile scheduling when lowering.
+        scale: zoo width multiplier in (0, 1].
+        input_size: rescaled input resolution (None = native).
+        code: unary code for tempus latency (default 2s-unary).
+        """
+        if engine not in _ENGINES:
+            raise DataflowError(f"unknown engine {engine!r}")
+        self.config = config if config is not None else CoreConfig()
+        self.engine = engine
+        self.scheduling = scheduling
+        self.scale = scale
+        self.input_size = input_size
+        self.code = code
+        self._compiled: dict[str, CompiledNetwork] = {}
+
+    # ------------------------------------------------------------------
+    def compile(self, model_name: str) -> CompiledNetwork:
+        """Lower (and cache) one zoo model for this runner's geometry."""
+        if model_name not in self._compiled:
+            quantized = load_quantized_model(
+                model_name,
+                precision=self.config.precision,
+                scale=self.scale,
+            )
+            self._compiled[model_name] = lower_model(
+                quantized,
+                self.config,
+                input_size=self.input_size,
+                scheduling=self.scheduling,
+                code=self.code,
+            )
+        return self._compiled[model_name]
+
+    def synthesize_batch(
+        self, model_name: str, batch_size: int
+    ) -> np.ndarray:
+        """Deterministic (B, C, H, W) input batch for a model."""
+        net = self.compile(model_name)
+        if batch_size < 1:
+            raise DataflowError("batch size must be >= 1")
+        rng = make_rng("runtime", net.name, "input", int(batch_size))
+        images = net.precision.random_array(
+            rng, (int(batch_size),) + tuple(net.input_shape)
+        )
+        return np.asarray(images, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, model_name: str, batch: "int | np.ndarray"
+    ) -> NetworkResult:
+        """Run a whole batch through the network, vectorized per layer.
+
+        Args:
+            model_name: zoo model name.
+            batch: a (B, C, H, W) integer tensor, a single (C, H, W)
+                image, or an int B requesting a synthesized batch.
+        """
+        net = self.compile(model_name)
+        images = self._as_batch(net, model_name, batch)
+        before = burst_map_cache_stats()
+        records: list[StageResult] = []
+        current = images
+        total_cycles = 0
+        for stage in net.stages:
+            current = self._fit_batch(stage, current, records)
+            current, cycles = self._conv_batched(net, stage, current)
+            cycles *= images.shape[0]
+            total_cycles += cycles
+            records.append(
+                StageResult(
+                    name=stage.name,
+                    kind="conv",
+                    output_shape=tuple(current.shape),
+                    conv_cycles=cycles,
+                )
+            )
+        return NetworkResult(
+            model=net.name,
+            engine=self.engine,
+            batch_size=images.shape[0],
+            output=current,
+            stages=tuple(records),
+            conv_cycles=total_cycles,
+            macs=net.macs_per_image * images.shape[0],
+            cache=self._cache_delta(before),
+        )
+
+    def run_per_image(
+        self,
+        model_name: str,
+        batch: "int | np.ndarray",
+        mode: str = "fast",
+    ) -> NetworkResult:
+        """Reference path: loop images through the real conv cores.
+
+        Args:
+            mode: core execution mode — "fast" (analytic), "burst"
+                (vectorized burst-level simulation) or "cycle"
+                (tick-level; very slow, tiny models only).
+
+        Stage records carry per-image output shapes (this path runs one
+        image at a time) but batch-total cycles, matching :meth:`run`.
+        """
+        net = self.compile(model_name)
+        images = self._as_batch(net, model_name, batch)
+        core = self._make_core(net, mode)
+        before = burst_map_cache_stats()
+        outputs = []
+        first_records: list[StageResult] = []
+        cycle_totals: list[int] = []
+        total_cycles = 0
+        for index in range(images.shape[0]):
+            current = images[index]
+            image_records: list[StageResult] = []
+            for stage in net.stages:
+                current = self._fit_single(stage, current, image_records)
+                current, cycles = self._conv_single(
+                    stage, current, core
+                )
+                total_cycles += cycles
+                image_records.append(
+                    StageResult(
+                        name=stage.name,
+                        kind="conv",
+                        output_shape=tuple(current.shape),
+                        conv_cycles=cycles,
+                    )
+                )
+            outputs.append(current)
+            # Every image walks the same stage/adapter sequence, so the
+            # records align by position; accumulate cycles so the
+            # stages carry batch totals (the NetworkResult contract),
+            # while shapes stay per-image (this is the per-image path).
+            if index == 0:
+                first_records = image_records
+                cycle_totals = [
+                    record.conv_cycles for record in image_records
+                ]
+            else:
+                for position, record in enumerate(image_records):
+                    cycle_totals[position] += record.conv_cycles
+        records = [
+            StageResult(
+                name=record.name,
+                kind=record.kind,
+                output_shape=record.output_shape,
+                conv_cycles=total,
+            )
+            for record, total in zip(first_records, cycle_totals)
+        ]
+        return NetworkResult(
+            model=net.name,
+            engine=self.engine,
+            batch_size=images.shape[0],
+            output=np.stack(outputs),
+            stages=tuple(records),
+            conv_cycles=total_cycles,
+            macs=net.macs_per_image * images.shape[0],
+            cache=self._cache_delta(before),
+        )
+
+    # ------------------------------------------------------------------
+    def _make_core(self, net: CompiledNetwork, mode: str):
+        if self.engine == "tempus":
+            from repro.core.tempus_core import TempusCore
+
+            return TempusCore(net.config, mode=mode, code=net.code)
+        from repro.nvdla.conv_core import ConvolutionCore
+
+        return ConvolutionCore(net.config, mode=mode)
+
+    def _as_batch(
+        self,
+        net: CompiledNetwork,
+        model_name: str,
+        batch: "int | np.ndarray",
+    ) -> np.ndarray:
+        if isinstance(batch, (int, np.integer)):
+            return self.synthesize_batch(model_name, int(batch))
+        images = np.asarray(batch)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4 or tuple(images.shape[1:]) != tuple(
+            net.input_shape
+        ):
+            raise DataflowError(
+                f"batch shape {images.shape} does not match "
+                f"(B,) + {tuple(net.input_shape)}"
+            )
+        return net.precision.check_array(images)
+
+    def _cache_delta(self, before: dict) -> dict:
+        after = burst_map_cache_stats()
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
+
+    # --- seam adapters (batched) --------------------------------------
+    def _fit_batch(
+        self,
+        stage: StagePlan,
+        batch: np.ndarray,
+        records: list,
+    ) -> np.ndarray:
+        batch = self._fit_channels(batch, stage.fit_channels, axis=1)
+        if stage.pool is not None:
+            batch = Pdp(stage.pool).apply_many(batch)
+            records.append(
+                StageResult(
+                    name=f"{stage.name}.pool",
+                    kind="pool",
+                    output_shape=tuple(batch.shape),
+                )
+            )
+        return self._fit_spatial(batch, stage.fit_hw, first_axis=2)
+
+    def _fit_single(
+        self,
+        stage: StagePlan,
+        image: np.ndarray,
+        records: list,
+    ) -> np.ndarray:
+        image = self._fit_channels(image, stage.fit_channels, axis=0)
+        if stage.pool is not None:
+            image = Pdp(stage.pool).apply(image)
+            records.append(
+                StageResult(
+                    name=f"{stage.name}.pool",
+                    kind="pool",
+                    output_shape=tuple(image.shape),
+                )
+            )
+        return self._fit_spatial(image, stage.fit_hw, first_axis=1)
+
+    @staticmethod
+    def _fit_channels(
+        tensor: np.ndarray, target: int, axis: int
+    ) -> np.ndarray:
+        """Tile or slice the channel axis to the declared input width
+        (branch-seam adapter: concats/splits executed sequentially)."""
+        have = tensor.shape[axis]
+        if have == target:
+            return tensor
+        index = [slice(None)] * tensor.ndim
+        if have > target:
+            index[axis] = slice(0, target)
+            return tensor[tuple(index)]
+        repeats = -(-target // have)
+        tiled = np.concatenate([tensor] * repeats, axis=axis)
+        index[axis] = slice(0, target)
+        return tiled[tuple(index)]
+
+    @staticmethod
+    def _fit_spatial(
+        tensor: np.ndarray, target_hw: tuple, first_axis: int
+    ) -> np.ndarray:
+        """Corner-crop or zero-pad H/W to the declared input size."""
+        for offset, target in enumerate(target_hw):
+            axis = first_axis + offset
+            have = tensor.shape[axis]
+            if have > target:
+                index = [slice(None)] * tensor.ndim
+                index[axis] = slice(0, target)
+                tensor = tensor[tuple(index)]
+            elif have < target:
+                pad = [(0, 0)] * tensor.ndim
+                pad[axis] = (0, target - have)
+                tensor = np.pad(tensor, pad, mode="constant")
+        return tensor
+
+    # --- conv execution -----------------------------------------------
+    def _conv_batched(
+        self,
+        net: CompiledNetwork,
+        stage: StagePlan,
+        batch: np.ndarray,
+    ) -> tuple[np.ndarray, int]:
+        """One conv stage over the whole batch; returns per-image
+        cycles (the caller scales by batch size)."""
+        layer = stage.layer
+        channels_per_group = layer.channels_per_group
+        pad_h, pad_w = layer.padding_h, layer.padding_w
+        padded = np.pad(
+            batch,
+            ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)),
+            mode="constant",
+        )
+        outputs = []
+        cycles = 0
+        for group, weights in enumerate(stage.weights):
+            group_input = padded[
+                :,
+                group * channels_per_group : (group + 1)
+                * channels_per_group,
+            ]
+            schedule = stage.schedules[group]
+            if schedule is not None:
+                group_input = group_input[:, schedule.channel_order]
+            group_out = golden_conv2d_batched(
+                group_input, weights, layer.stride, 0
+            )
+            if schedule is not None:
+                group_out = group_out[:, stage.kernel_restores[group]]
+            outputs.append(group_out)
+            cycles += self._group_cycles(net, stage, weights)
+        psums = (
+            np.concatenate(outputs, axis=1)
+            if len(outputs) > 1
+            else outputs[0]
+        )
+        return Sdp(stage.sdp).apply_many(psums), cycles
+
+    def _conv_single(
+        self, stage: StagePlan, image: np.ndarray, core
+    ) -> tuple[np.ndarray, int]:
+        """One conv stage for one image through a real conv core."""
+        layer = stage.layer
+        channels_per_group = layer.channels_per_group
+        pad_h, pad_w = layer.padding_h, layer.padding_w
+        padded = np.pad(
+            image,
+            ((0, 0), (pad_h, pad_h), (pad_w, pad_w)),
+            mode="constant",
+        )
+        outputs = []
+        cycles = 0
+        for group, weights in enumerate(stage.weights):
+            group_input = padded[
+                group * channels_per_group : (group + 1)
+                * channels_per_group
+            ]
+            schedule = stage.schedules[group]
+            if schedule is not None:
+                group_input = group_input[schedule.channel_order]
+            result = core.run_layer(
+                group_input, weights, stride=layer.stride, padding=0
+            )
+            group_out = result.output
+            if schedule is not None:
+                group_out = group_out[stage.kernel_restores[group]]
+            outputs.append(group_out)
+            cycles += result.cycles
+        psums = (
+            np.concatenate(outputs, axis=0)
+            if len(outputs) > 1
+            else outputs[0]
+        )
+        return Sdp(stage.sdp).apply(psums), cycles
+
+    def _group_cycles(
+        self,
+        net: CompiledNetwork,
+        stage: StagePlan,
+        weights: np.ndarray,
+    ) -> int:
+        """Analytic per-image cycles of one layer group — identical to
+        the formula the cores' ``fast`` mode uses (and therefore to the
+        burst/tick simulations, by the equivalence tests)."""
+        config = net.config
+        layer = stage.layer
+        if self.engine == "binary":
+            atoms = stage_atoms(stage, config) // layer.groups
+            return atoms + config.pipeline_latency
+        per_pixel = int(
+            cached_burst_cycle_map(weights, config, net.code).sum()
+        )
+        pixels = layer.out_height * layer.out_width
+        return per_pixel * pixels + config.pipeline_latency + 1

@@ -136,6 +136,51 @@ class TestBurstMapCache:
         with pytest.raises(ValueError):
             cycles[0, 0, 0, 0] = 99
 
+    def test_inplace_mutation_invalidates_entry(self):
+        """Mutating a cached tensor in place must not serve stale maps."""
+        clear_burst_map_cache()
+        config = CoreConfig(k=2, n=2)
+        weights = np.full((2, 2, 1, 1), 8, dtype=np.int64)
+        assert cached_burst_cycle_map(weights, config)[0, 0, 0, 0] == 4
+        weights[0, 0, 0, 0] = 2  # same storage, smaller burst
+        cycles = cached_burst_cycle_map(weights, config)
+        assert cycles[0, 0, 0, 0] == 4  # tile max is still the 8s
+        weights[:] = 2
+        cycles = cached_burst_cycle_map(weights, config)
+        assert cycles[0, 0, 0, 0] == 1
+        stats = burst_map_cache_stats()
+        assert stats["invalidations"] == 2
+        assert stats["hits"] == 0
+
+    def test_sum_preserving_swap_invalidates(self):
+        """A permutation of cached weights preserves the plain sum but
+        must still be detected (position-weighted checksum)."""
+        clear_burst_map_cache()
+        config = CoreConfig(k=1, n=1)
+        weights = np.array([4, 2, 8, 4], dtype=np.int64).reshape(
+            4, 1, 1, 1
+        )
+        before = cached_burst_cycle_map(weights, config).copy()
+        weights[1, 0, 0, 0], weights[2, 0, 0, 0] = 8, 2  # swap interior
+        after = cached_burst_cycle_map(weights, config)
+        assert np.array_equal(
+            after, burst_cycle_map(weights, config)
+        )
+        assert not np.array_equal(after, before)
+        assert burst_map_cache_stats()["invalidations"] == 1
+
+    def test_mutation_invalidation_then_rehits(self):
+        """After an invalidation the fresh map is cached again."""
+        clear_burst_map_cache()
+        config = CoreConfig(k=2, n=2)
+        weights = np.full((2, 2, 1, 1), 6, dtype=np.int64)
+        cached_burst_cycle_map(weights, config)
+        weights[1, 1, 0, 0] = 1
+        fresh = cached_burst_cycle_map(weights, config)
+        again = cached_burst_cycle_map(weights, config)
+        assert again is fresh
+        assert burst_map_cache_stats()["hits"] == 1
+
     def test_recycled_id_does_not_false_hit(self):
         """A dead array whose id is reused must not serve stale cycles."""
         clear_burst_map_cache()

@@ -20,7 +20,79 @@ class TestCli:
 
     def test_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_out_artifact_placement(self, capsys, tmp_path):
+        """--out directs experiment artifacts into the given directory."""
+        out_dir = tmp_path / "nested" / "artifacts"
+        assert main(
+            ["run", "fig7", "--quick", "--out", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        written = sorted(p.name for p in out_dir.glob("*.csv"))
+        assert written, "fig7 must write its CSV series under --out"
+        assert all(name.startswith("fig7") for name in written)
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServeBench:
+    def test_quick_run_writes_artifact(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve-bench",
+                "--quick",
+                "--models",
+                "resnet18",
+                "shufflenet_v2",
+                "--batch",
+                "2",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resnet18" in out and "shufflenet_v2" in out
+        artifact = tmp_path / "BENCH_networks.json"
+        assert artifact.exists()
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert [r["model"] for r in payload["models"]] == [
+            "resnet18",
+            "shufflenet_v2",
+        ]
+        assert all(
+            r["outputs_bit_identical"] for r in payload["models"]
+        )
+
+    def test_unknown_model_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve-bench",
+                "--models",
+                "lenet",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown model" in err
+        assert not (tmp_path / "BENCH_networks.json").exists()
+
+    def test_bad_batch_fails_cleanly(self, capsys, tmp_path):
+        assert main(
+            [
+                "serve-bench",
+                "--batch",
+                "0",
+                "--out",
+                str(tmp_path),
+            ]
+        ) == 2
+        assert "batch" in capsys.readouterr().err

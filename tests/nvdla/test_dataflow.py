@@ -198,3 +198,84 @@ class TestValidateLayer:
         weights = np.zeros((1, 1, 1, 1))
         with pytest.raises(Exception):
             validate_layer(shape, activations, weights, INT8)
+
+
+class TestGoldenConv2dBatched:
+    def test_matches_per_image_golden(self):
+        from repro.nvdla.dataflow import golden_conv2d_batched
+        from repro.utils.rng import make_rng
+
+        rng = make_rng("batched-conv")
+        activations = INT8.random_array(rng, (3, 6, 8, 8))
+        weights = INT8.random_array(rng, (5, 6, 3, 3))
+        batched = golden_conv2d_batched(
+            activations, weights, stride=2, padding=1
+        )
+        for index in range(3):
+            single = golden_conv2d(
+                activations[index], weights, stride=2, padding=1
+            )
+            assert np.array_equal(batched[index], single)
+
+    def test_grouped_matches_per_group(self):
+        from repro.nvdla.dataflow import golden_conv2d_batched
+        from repro.utils.rng import make_rng
+
+        rng = make_rng("batched-group")
+        groups = 4
+        activations = INT8.random_array(rng, (2, 8, 6, 6))
+        weights = INT8.random_array(rng, (8, 2, 3, 3))
+        batched = golden_conv2d_batched(
+            activations, weights, padding=1, groups=groups
+        )
+        for group in range(groups):
+            expected = golden_conv2d(
+                activations[0, group * 2 : (group + 1) * 2],
+                weights[group * 2 : (group + 1) * 2],
+                padding=1,
+            )
+            assert np.array_equal(
+                batched[0, group * 2 : (group + 1) * 2], expected
+            )
+
+    def test_asymmetric_padding(self):
+        from repro.nvdla.dataflow import golden_conv2d_batched
+        from repro.utils.rng import make_rng
+
+        rng = make_rng("batched-asym")
+        activations = INT8.random_array(rng, (2, 3, 7, 7))
+        weights = INT8.random_array(rng, (4, 3, 1, 7))
+        batched = golden_conv2d_batched(
+            activations, weights, padding=(0, 3)
+        )
+        assert batched.shape == (2, 4, 7, 7)
+        padded = np.pad(
+            activations, ((0, 0), (0, 0), (0, 0), (3, 3))
+        )
+        for index in range(2):
+            expected = golden_conv2d(padded[index], weights)
+            assert np.array_equal(batched[index], expected)
+
+    def test_rejects_bad_shapes(self):
+        from repro.nvdla.dataflow import golden_conv2d_batched
+
+        with pytest.raises(DataflowError):
+            golden_conv2d_batched(
+                np.zeros((2, 3, 4, 4)), np.zeros((4, 5, 3, 3))
+            )
+        with pytest.raises(DataflowError):
+            golden_conv2d_batched(
+                np.zeros((2, 3, 4, 4)),
+                np.zeros((4, 3, 3, 3)),
+                stride=0,
+            )
+        with pytest.raises(DataflowError):
+            golden_conv2d_batched(
+                np.zeros((3, 4, 4)), np.zeros((4, 3, 3, 3))
+            )
+        with pytest.raises(DataflowError):
+            golden_conv2d_batched(
+                np.zeros((2, 4, 4, 4)),
+                np.zeros((3, 2, 3, 3)),
+                groups=2,
+            )

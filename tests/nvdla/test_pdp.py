@@ -69,3 +69,23 @@ class TestValidation:
 
     def test_default_stride_is_kernel(self):
         assert PdpConfig("max", kernel=3).stride == 3
+
+
+class TestPdpBatch:
+    def test_apply_many_matches_per_image(self, rng):
+        for mode, kernel, padding in (
+            ("max", 2, 0),
+            ("max", 3, 1),
+            ("average", 2, 0),
+        ):
+            pdp = Pdp(PdpConfig(mode, kernel=kernel, padding=padding))
+            values = rng.integers(-100, 100, (3, 4, 8, 8))
+            batched = pdp.apply_many(values)
+            stacked = np.stack([pdp.apply(image) for image in values])
+            assert np.array_equal(batched, stacked)
+
+    def test_apply_many_rank_checked(self):
+        with pytest.raises(DataflowError):
+            Pdp(PdpConfig("max", kernel=2)).apply_many(
+                np.zeros((4, 8, 8))
+            )

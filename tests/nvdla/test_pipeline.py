@@ -103,3 +103,38 @@ class TestPipeline:
         pipeline = InferencePipeline(self.config, stages, engine="binary")
         result = pipeline.run(INT8.random_array(rng, (3, 8, 8)))
         assert result.output.min() >= 0
+
+
+class TestPipelineBatch:
+    config = CoreConfig(k=4, n=4, precision=INT8)
+
+    @pytest.mark.parametrize("engine", ["binary", "tempus"])
+    def test_run_batch_matches_per_image(self, engine):
+        rng = make_rng("pipe-batch")
+        stages = build_network(rng)
+        pipeline = InferencePipeline(self.config, stages, engine=engine)
+        batch = INT8.random_array(rng, (4, 3, 8, 8))
+        batched = pipeline.run_batch(batch)
+        for index in range(4):
+            single = pipeline.run(batch[index])
+            assert np.array_equal(batched.output[index], single.output)
+        # Cycle accounting: B back-to-back images on the core.
+        single = pipeline.run(batch[0])
+        assert batched.conv_cycles == 4 * single.conv_cycles
+
+    def test_run_batch_stage_records(self):
+        rng = make_rng("pipe-batch-records")
+        pipeline = InferencePipeline(
+            self.config, build_network(rng), engine="binary"
+        )
+        result = pipeline.run_batch(INT8.random_array(rng, (2, 3, 8, 8)))
+        assert [s.kind for s in result.stages] == ["conv", "pool", "conv"]
+        assert result.output.shape[0] == 2
+
+    def test_run_batch_rejects_bad_rank(self):
+        rng = make_rng("pipe-batch-rank")
+        pipeline = InferencePipeline(
+            self.config, build_network(rng), engine="binary"
+        )
+        with pytest.raises(DataflowError):
+            pipeline.run_batch(INT8.random_array(rng, (3, 8, 8)))

@@ -87,3 +87,45 @@ class TestSdp:
     def test_invalid_activation(self):
         with pytest.raises(DataflowError):
             SdpConfig(out_precision=INT8, activation="gelu")
+
+
+class TestSdpBatch:
+    def test_apply_many_matches_per_image(self, rng):
+        config = SdpConfig(
+            out_precision=INT8,
+            bias=rng.integers(-100, 100, 5),
+            multiplier=3,
+            shift=6,
+            activation="relu",
+        )
+        psums = rng.integers(-5000, 5000, (4, 5, 6, 6))
+        batched = Sdp(config).apply_many(psums)
+        stacked = np.stack(
+            [Sdp(config).apply(image) for image in psums]
+        )
+        assert np.array_equal(batched, stacked)
+
+    def test_apply_many_prelu(self, rng):
+        config = SdpConfig(
+            out_precision=INT8,
+            multiplier=2,
+            shift=5,
+            activation="prelu",
+            prelu_multiplier=3,
+            prelu_shift=4,
+        )
+        psums = rng.integers(-4000, 4000, (3, 2, 4, 4))
+        batched = Sdp(config).apply_many(psums)
+        stacked = np.stack(
+            [Sdp(config).apply(image) for image in psums]
+        )
+        assert np.array_equal(batched, stacked)
+
+    def test_apply_many_rank_checked(self):
+        with pytest.raises(DataflowError):
+            make_sdp().apply_many(np.zeros((2, 3, 4)))
+
+    def test_apply_many_bias_shape_checked(self):
+        sdp = make_sdp(bias=np.arange(3))
+        with pytest.raises(DataflowError):
+            sdp.apply_many(np.zeros((2, 4, 2, 2)))

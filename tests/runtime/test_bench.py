@@ -1,0 +1,65 @@
+"""Tests for the network benchmark driver."""
+
+import json
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.nvdla.config import CoreConfig
+from repro.runtime.bench import render_benchmark, run_network_benchmark
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("bench")
+    return run_network_benchmark(
+        models=("mobilenet_v2", "resnet18"),
+        batch=2,
+        quick=True,
+        config=CoreConfig(k=4, n=4),
+        out_dir=out_dir,
+    )
+
+
+class TestNetworkBenchmark:
+    def test_artifact_written_and_parseable(self, payload):
+        artifact = payload["artifact"]
+        assert artifact.endswith("BENCH_networks.json")
+        data = json.loads(open(artifact).read())
+        assert data["benchmark"] == "network_inference"
+        assert len(data["models"]) == 2
+
+    def test_required_fields(self, payload):
+        for record in payload["models"]:
+            assert record["outputs_bit_identical"] is True
+            assert record["scheduling_speedup"] >= 1.0
+            assert record["tempus_vs_binary_throughput"] > 0
+            for engine in ("tempus", "binary"):
+                stats = record["engines"][engine]
+                assert stats["conv_cycles"] > 0
+                assert stats["images_per_million_cycles"] > 0
+                assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+        assert payload["burst_map_cache_totals"]["misses"] > 0
+
+    def test_render_mentions_every_model(self, payload):
+        text = render_benchmark(payload)
+        assert "mobilenet_v2" in text and "resnet18" in text
+        assert "cache hit" in text
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(DataflowError):
+            run_network_benchmark(models=("lenet",), out_dir=None)
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(DataflowError):
+            run_network_benchmark(batch=0, out_dir=None)
+
+    def test_no_artifact_when_out_dir_none(self):
+        result = run_network_benchmark(
+            models=("resnet18",),
+            batch=1,
+            quick=True,
+            config=CoreConfig(k=4, n=4),
+            out_dir=None,
+        )
+        assert "artifact" not in result

@@ -1,0 +1,126 @@
+"""Tests for zoo -> pipeline-stage lowering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataflowError
+from repro.models.weights import load_quantized_model
+from repro.nvdla.config import CoreConfig
+from repro.runtime.lowering import lower_model, stage_atoms
+from repro.utils.intrange import INT4
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CoreConfig(k=4, n=4)
+
+
+@pytest.fixture(scope="module")
+def mobilenet(config):
+    model = load_quantized_model("mobilenet_v2", scale=0.06)
+    return lower_model(model, config, input_size=16)
+
+
+class TestLowerModel:
+    def test_one_stage_per_conv_layer(self, mobilenet):
+        model = load_quantized_model("mobilenet_v2", scale=0.06)
+        assert len(mobilenet.stages) == len(model.layers)
+        assert mobilenet.name == "mobilenet_v2"
+
+    def test_input_shape_is_rescaled_first_layer(self, mobilenet):
+        channels, height, width = mobilenet.input_shape
+        first = mobilenet.stages[0].layer
+        assert channels == first.in_channels
+        assert height == width == 16
+
+    def test_grouped_layers_split_per_group(self, mobilenet):
+        depthwise = [
+            stage for stage in mobilenet.stages if stage.layer.is_depthwise
+        ]
+        assert depthwise, "MobileNetV2 must lower depthwise stages"
+        stage = depthwise[0]
+        assert len(stage.weights) == stage.layer.groups
+        for weights in stage.weights:
+            assert weights.shape == (
+                stage.layer.out_channels // stage.layer.groups,
+                1,
+                stage.layer.kernel_h,
+                stage.layer.kernel_w,
+            )
+
+    def test_pool_inserted_at_reduction_seams(self, config):
+        # ResNet's stem (stride-2 conv at 112) feeds layer1 at 56 only
+        # through the max pool the zoo recorded.
+        model = load_quantized_model("resnet18", scale=0.06)
+        net = lower_model(model, config, input_size=64)
+        assert net.stages[1].pool is not None
+        assert net.stages[0].pool is None
+
+    def test_scheduling_permutes_weights_not_semantics(self, config):
+        model = load_quantized_model("resnet18", scale=0.06)
+        scheduled = lower_model(model, config, input_size=16)
+        plain = lower_model(
+            model, config, input_size=16, scheduling=False
+        )
+        permuted_anywhere = False
+        for stage_s, stage_p in zip(scheduled.stages, plain.stages):
+            for weights_s, weights_p, schedule in zip(
+                stage_s.weights, stage_p.weights, stage_s.schedules
+            ):
+                if schedule is None:
+                    assert weights_s is weights_p
+                else:
+                    permuted_anywhere = True
+                    restored = weights_s[
+                        np.argsort(schedule.kernel_order)
+                    ][:, np.argsort(schedule.channel_order)]
+                    assert np.array_equal(restored, weights_p)
+                    assert schedule.cycles_saved > 0
+        assert permuted_anywhere, "scheduling never engaged"
+
+    def test_branchy_models_lower(self, config):
+        for name in ("googlenet", "inception_v3"):
+            model = load_quantized_model(name, scale=0.04)
+            net = lower_model(model, config, input_size=20)
+            assert len(net.stages) == len(model.layers)
+
+    def test_precision_mismatch_rejected(self):
+        model = load_quantized_model("resnet18", scale=0.06)
+        with pytest.raises(DataflowError):
+            lower_model(model, CoreConfig(k=4, n=4, precision=INT4))
+
+    def test_bad_input_size_rejected(self, config):
+        model = load_quantized_model("resnet18", scale=0.06)
+        with pytest.raises(DataflowError):
+            lower_model(model, config, input_size=448)
+
+    def test_macs_follow_rescaled_layers(self, mobilenet):
+        assert mobilenet.macs_per_image == sum(
+            stage.layer.macs for stage in mobilenet.stages
+        )
+
+
+class TestStageAtoms:
+    def test_matches_conv_shape_for_dense_layers(self, mobilenet, config):
+        from repro.nvdla.dataflow import ConvShape
+
+        for stage in mobilenet.stages:
+            if stage.layer.groups != 1:
+                continue
+            layer = stage.layer
+            shape = ConvShape(
+                in_channels=layer.in_channels,
+                in_height=layer.in_height,
+                in_width=layer.in_width,
+                out_channels=layer.out_channels,
+                kernel_h=layer.kernel_h,
+                kernel_w=layer.kernel_w,
+                stride=layer.stride,
+                padding=layer.padding_h,
+            )
+            expected = (
+                shape.kernel_groups(config.k)
+                * shape.output_pixels
+                * shape.atoms_per_pixel(config.n)
+            )
+            assert stage_atoms(stage, config) == expected
