@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Sharded serving runtime benchmark (BENCH_serving.json).
+
+Sweeps the :class:`repro.serve.ShardedRunner` worker pool over >= 3 zoo
+networks, verifies every worker count bit-identical (outputs *and*
+cycle counts) to the single-process ``NetworkRunner`` reference, and
+writes ``results/BENCH_serving.json``: requests/sec, wall seconds,
+images-per-million-cycles and speedup-vs-one-worker per (model,
+workers) point.
+
+Run directly::
+
+    python benchmarks/bench_serving.py               # full preset, 1/2/4 workers
+    python benchmarks/bench_serving.py --quick       # CI-sized
+    python benchmarks/bench_serving.py --workers 1 2 --requests 16
+
+or through pytest (quick preset)::
+
+    pytest benchmarks/bench_serving.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.runtime.bench import (
+    DEFAULT_SERVING_MODELS,
+    DEFAULT_WORKER_COUNTS,
+    render_serving_benchmark,
+    run_serving_benchmark,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run(
+    models=DEFAULT_SERVING_MODELS,
+    worker_counts=DEFAULT_WORKER_COUNTS,
+    requests: int = 32,
+    quick: bool = False,
+    repeats: int = 3,
+    write: bool = True,
+) -> dict:
+    payload = run_serving_benchmark(
+        models=models,
+        worker_counts=worker_counts,
+        requests=requests,
+        quick=quick,
+        repeats=repeats,
+        out_dir=RESULTS_DIR if write else None,
+    )
+    # Contract checks: every (model, workers) point was verified
+    # bit-identical before its throughput was recorded, and the sweep
+    # covers every requested worker count.
+    for record in payload["models"]:
+        assert len(record["workers"]) == len(tuple(worker_counts))
+        for sweep in record["workers"]:
+            assert sweep["bit_identical_to_reference"]
+            assert sweep["requests_per_second"] > 0
+    return payload
+
+
+def test_serving_quick():
+    """Tracked invariant: the serving runtime is bit-exact at every
+    worker count and the artifact carries >= 3 nets."""
+    payload = run(
+        worker_counts=(1, 2),
+        requests=8,
+        quick=True,
+        repeats=1,
+        write=False,
+    )
+    assert len(payload["models"]) >= 3
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=list(DEFAULT_SERVING_MODELS),
+        help=f"zoo models (default: {' '.join(DEFAULT_SERVING_MODELS)})",
+    )
+    parser.add_argument(
+        "--workers",
+        nargs="+",
+        type=int,
+        default=list(DEFAULT_WORKER_COUNTS),
+        help="worker counts to sweep (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=32,
+        help="single-image requests per timed run (default 32)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N wall-clock repeats (default 3)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized preset"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip the JSON artifact"
+    )
+    args = parser.parse_args()
+    payload = run(
+        models=tuple(args.models),
+        worker_counts=tuple(args.workers),
+        requests=args.requests,
+        quick=args.quick,
+        repeats=args.repeats,
+        write=not args.no_write,
+    )
+    print(render_serving_benchmark(payload))
+    if "artifact" in payload:
+        print(f"\nwrote {payload['artifact']}")
+    else:
+        print("\n" + json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Usage::
     python -m repro run table2 --quick       # reduced parameters
     python -m repro run all --out results/   # every experiment
     python -m repro serve-bench --quick      # batched network inference
+    python -m repro serve-bench --workers 4  # sharded serving sweep
 """
 
 from __future__ import annotations
@@ -58,8 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
     server.add_argument(
         "--batch",
         type=int,
-        default=4,
-        help="images per network run (default: 4)",
+        default=None,
+        help=(
+            "images per network run (default: 4; single-process "
+            "benchmark only — with --workers use --requests)"
+        ),
     )
     server.add_argument(
         "--quick",
@@ -72,11 +76,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable burst-aware tile scheduling",
     )
     server.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "benchmark the sharded serving runtime instead: sweep "
+            "worker counts up to N (writes BENCH_serving.json)"
+        ),
+    )
+    server.add_argument(
+        "--requests",
+        type=int,
+        default=32,
+        help=(
+            "single-image requests per timed serving run "
+            "(default: 32; only with --workers)"
+        ),
+    )
+    server.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help=(
+            "dynamic-batching coalescing limit "
+            "(default: 8; only with --workers)"
+        ),
+    )
+    server.add_argument(
         "--out",
         default="results",
         help="artifact directory (default: results/)",
     )
     return parser
+
+
+def _worker_sweep(limit: int) -> tuple:
+    """Powers of two up to the requested pool size: 4 -> (1, 2, 4)."""
+    counts = []
+    count = 1
+    while count < limit:
+        counts.append(count)
+        count *= 2
+    counts.append(limit)
+    return tuple(dict.fromkeys(counts))
 
 
 def _serve_bench(args) -> int:
@@ -85,23 +128,58 @@ def _serve_bench(args) -> int:
     from repro.errors import ReproError
     from repro.runtime.bench import (
         DEFAULT_MODELS,
+        DEFAULT_SERVING_MODELS,
         render_benchmark,
+        render_serving_benchmark,
         run_network_benchmark,
+        run_serving_benchmark,
     )
 
-    models = tuple(args.models) if args.models else DEFAULT_MODELS
     try:
-        payload = run_network_benchmark(
-            models=models,
-            batch=args.batch,
-            quick=args.quick,
-            scheduling=not args.no_schedule,
-            out_dir=args.out,
-        )
+        if args.workers is not None:
+            if args.workers < 1:
+                print(
+                    "serve-bench failed: --workers must be >= 1",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.batch is not None:
+                print(
+                    "serve-bench failed: --batch applies to the "
+                    "single-process benchmark; with --workers size "
+                    "the request stream via --requests",
+                    file=sys.stderr,
+                )
+                return 2
+            models = (
+                tuple(args.models)
+                if args.models
+                else DEFAULT_SERVING_MODELS
+            )
+            payload = run_serving_benchmark(
+                models=models,
+                worker_counts=_worker_sweep(args.workers),
+                requests=args.requests,
+                quick=args.quick,
+                scheduling=not args.no_schedule,
+                max_batch=args.max_batch,
+                out_dir=args.out,
+            )
+            rendered = render_serving_benchmark(payload)
+        else:
+            models = tuple(args.models) if args.models else DEFAULT_MODELS
+            payload = run_network_benchmark(
+                models=models,
+                batch=args.batch if args.batch is not None else 4,
+                quick=args.quick,
+                scheduling=not args.no_schedule,
+                out_dir=args.out,
+            )
+            rendered = render_benchmark(payload)
     except ReproError as error:
         print(f"serve-bench failed: {error}", file=sys.stderr)
         return 2
-    print(render_benchmark(payload))
+    print(rendered)
     if "artifact" in payload:
         print(f"\nwrote {payload['artifact']}")
     return 0

@@ -9,6 +9,7 @@ whole-CNN profiling (Figs. 7/8, Sec. V-C) fast.
 from __future__ import annotations
 
 import math
+import os
 import weakref
 from collections import OrderedDict
 
@@ -99,12 +100,28 @@ def burst_cycle_map(
 # still treat quantized weights as immutable —
 # :attr:`QuantizedLayer.codes64` is marked read-only — the fingerprint
 # is a correctness backstop, not a license to mutate.
+#
+# Process model (the sharded serving runtime forks workers holding this
+# module): the cache is strictly process-local state, and both
+# multiprocessing start methods are safe.  With ``fork`` a worker
+# inherits the parent's entries copy-on-write — the owner arrays are
+# duplicated at the same virtual addresses, so the (id, data pointer)
+# keys and the weakrefs all still resolve in the child, and a worker
+# whose compiled network was warmed during lowering starts with a hot
+# cache for free.  With ``spawn`` the module is imported fresh and the
+# worker rebuilds its maps on first use.  Counters are inherited under
+# fork (deltas, as reported by the runtime, stay correct);
+# :func:`burst_map_cache_stats` exposes the owning pid and whether the
+# cache was inherited so worker provenance is observable.
 # ----------------------------------------------------------------------
 _BURST_MAP_CACHE_SIZE = 4096
 _burst_map_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
 _burst_map_hits = 0
 _burst_map_misses = 0
 _burst_map_invalidations = 0
+#: Pid that created (or last cleared) this process's cache state; a
+#: forked worker sees a different ``os.getpid()`` until it clears.
+_burst_map_origin_pid = os.getpid()
 
 
 def _content_fingerprint(weights: np.ndarray) -> tuple:
@@ -198,22 +215,29 @@ def cached_burst_cycle_map(
 
 
 def burst_map_cache_stats() -> dict:
-    """Hit/miss counters (observability for the profiling passes)."""
+    """Hit/miss counters (observability for the profiling passes and
+    the serving workers).  ``inherited`` flags a cache carried across a
+    ``fork`` from a parent process (see the process-model notes above)."""
     return {
         "hits": _burst_map_hits,
         "misses": _burst_map_misses,
         "invalidations": _burst_map_invalidations,
         "entries": len(_burst_map_cache),
+        "pid": os.getpid(),
+        "inherited": os.getpid() != _burst_map_origin_pid,
     }
 
 
 def clear_burst_map_cache() -> None:
-    """Drop all cached maps and reset the counters."""
+    """Drop all cached maps and reset the counters (and claim the
+    cache for the current process)."""
     global _burst_map_hits, _burst_map_misses, _burst_map_invalidations
+    global _burst_map_origin_pid
     _burst_map_cache.clear()
     _burst_map_hits = 0
     _burst_map_misses = 0
     _burst_map_invalidations = 0
+    _burst_map_origin_pid = os.getpid()
 
 
 def layer_burst_cycles(

@@ -79,6 +79,15 @@ def images_per_million_cycles(images: int, cycles: int) -> float:
     return images * 1e6 / max(cycles, 1)
 
 
+def requests_per_second(requests: int, seconds: float) -> float:
+    """Wall-clock serving throughput used by the sharded runtime
+    benchmark (``results/BENCH_serving.json``): completed single-image
+    requests per second of host time."""
+    if requests < 0 or seconds < 0:
+        raise DataflowError("requests and seconds must be non-negative")
+    return requests / max(seconds, 1e-12)
+
+
 @dataclass(frozen=True)
 class MeasuredThroughput:
     """Simulated throughput of one layer on one engine.

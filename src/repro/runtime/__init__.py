@@ -2,10 +2,14 @@
 
 Compiles ``models/zoo.py`` topologies into NVDLA pipeline stages
 (:mod:`repro.runtime.lowering`), executes them batched on either
-convolution engine (:mod:`repro.runtime.runner`) and benchmarks
-networks across engines (:mod:`repro.runtime.bench`).
+convolution engine (:mod:`repro.runtime.executor` /
+:mod:`repro.runtime.runner`) and benchmarks networks across engines and
+worker counts (:mod:`repro.runtime.bench`).  The sharded multi-process
+serving front-end lives in :mod:`repro.serve` and runs the same
+:class:`BatchExecutor` in every worker.
 """
 
+from repro.runtime.executor import BatchExecutor
 from repro.runtime.lowering import (
     CompiledNetwork,
     StagePlan,
@@ -15,6 +19,7 @@ from repro.runtime.lowering import (
 from repro.runtime.runner import NetworkResult, NetworkRunner
 
 __all__ = [
+    "BatchExecutor",
     "CompiledNetwork",
     "NetworkResult",
     "NetworkRunner",

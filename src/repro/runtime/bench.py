@@ -1,23 +1,37 @@
-"""Network-level inference benchmark (results/BENCH_networks.json).
+"""Network- and serving-level inference benchmarks.
 
-Runs zoo models end to end on both convolution engines through the
-batched runtime, cross-checks bit-identity, and records per-network
-cycles, images-per-million-cycles, burst-map cache hit rates and the
-tempus-vs-binary / scheduling cycle ratios.  Shared by
-``python -m repro serve-bench`` and
-``benchmarks/bench_network_inference.py``.
+One measurement harness, two drivers:
+
+* :func:`run_network_benchmark` — single-process batched inference on
+  both convolution engines (``results/BENCH_networks.json``):
+  bit-identity cross-checks, per-network cycles,
+  images-per-million-cycles, cache hit rates, tempus-vs-binary and
+  scheduling ratios.
+* :func:`run_serving_benchmark` — the sharded multi-worker serving
+  runtime (``results/BENCH_serving.json``): requests/sec and
+  images-per-Mcycle vs worker count, with every worker count verified
+  bit-identical to the single-process reference.
+
+Both drivers time work through :func:`measure` (best-of-``repeats``
+wall clock) and report engine records through :func:`_engine_record`,
+so single- and multi-worker numbers are directly comparable.  Shared by
+``python -m repro serve-bench [--workers N]``,
+``benchmarks/bench_network_inference.py`` and
+``benchmarks/bench_serving.py``.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.latency import burst_map_cache_stats
 from repro.errors import DataflowError
-from repro.eval.throughput import images_per_million_cycles
+from repro.eval.throughput import images_per_million_cycles, \
+    requests_per_second
 from repro.models.zoo import MODEL_NAMES
 from repro.nvdla.config import CoreConfig
 from repro.runtime.runner import NetworkRunner
@@ -26,14 +40,36 @@ from repro.runtime.runner import NetworkRunner
 #: dissimilar structure (depthwise-heavy vs dense-residual).
 DEFAULT_MODELS = ("mobilenet_v2", "resnet18")
 
+#: Serving benchmark default workload (>= 3 nets, per the artifact
+#: contract) and worker sweep.
+DEFAULT_SERVING_MODELS = ("mobilenet_v2", "resnet18", "shufflenet_v2")
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+
 #: (scale, input_size) presets: full keeps enough resolution for the
 #: per-layer cycle structure to matter; quick is a CI-speed smoke.
 FULL_PRESET = (0.25, 64)
 QUICK_PRESET = (0.125, 32)
 
 
-def _engine_record(result) -> dict:
-    return {
+def measure(fn, repeats: int = 1) -> tuple:
+    """Run ``fn`` ``repeats`` times; return (last result, best seconds).
+
+    Best-of-N wall clock is the standard way to suppress scheduler
+    noise when the quantity of interest is achievable throughput.
+    """
+    if repeats < 1:
+        raise DataflowError("repeats must be >= 1")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _engine_record(result, seconds: "float | None" = None) -> dict:
+    record = {
         "conv_cycles": int(result.conv_cycles),
         "cycles_per_image": float(result.cycles_per_image),
         "images_per_million_cycles": float(
@@ -48,6 +84,12 @@ def _engine_record(result) -> dict:
             "hit_rate": float(result.cache["hit_rate"]),
         },
     }
+    if seconds is not None:
+        record["wall_seconds"] = float(seconds)
+        record["host_images_per_second"] = float(
+            requests_per_second(result.batch_size, seconds)
+        )
+    return record
 
 
 def run_network_benchmark(
@@ -72,12 +114,7 @@ def run_network_benchmark(
     Returns:
         the record written to the artifact.
     """
-    unknown = [name for name in models if name not in MODEL_NAMES]
-    if unknown:
-        raise DataflowError(
-            f"unknown model(s) {', '.join(unknown)}; available: "
-            f"{', '.join(MODEL_NAMES)}"
-        )
+    _check_models(models)
     if batch < 1:
         raise DataflowError("batch must be >= 1")
     config = config if config is not None else CoreConfig()
@@ -103,8 +140,17 @@ def run_network_benchmark(
 
     model_records = []
     for name in models:
-        binary = runners["binary"].run(name, batch)
-        tempus = runners["tempus"].run(name, batch)
+        # Warm both runners (compile + burst maps) before timing, so
+        # wall_seconds measures steady state — the same protocol the
+        # serving benchmark uses, keeping the numbers comparable.
+        runners["binary"].run(name, 1)
+        runners["tempus"].run(name, 1)
+        binary, binary_seconds = measure(
+            lambda: runners["binary"].run(name, batch)
+        )
+        tempus, tempus_seconds = measure(
+            lambda: runners["tempus"].run(name, batch)
+        )
         if not np.array_equal(binary.output, tempus.output):
             raise DataflowError(
                 f"{name}: engines diverged — dataflow compliance "
@@ -123,8 +169,8 @@ def run_network_benchmark(
             ),
             "outputs_bit_identical": True,
             "engines": {
-                "binary": _engine_record(binary),
-                "tempus": _engine_record(tempus),
+                "binary": _engine_record(binary, binary_seconds),
+                "tempus": _engine_record(tempus, tempus_seconds),
             },
             # Cycle-for-cycle, the tub core trades latency for
             # area/power (the paper's Table 2 story); > means binary
@@ -167,6 +213,226 @@ def run_network_benchmark(
         artifact.write_text(json.dumps(payload, indent=2) + "\n")
         payload["artifact"] = str(artifact)
     return payload
+
+
+def _check_models(models) -> None:
+    unknown = [name for name in models if name not in MODEL_NAMES]
+    if unknown:
+        raise DataflowError(
+            f"unknown model(s) {', '.join(unknown)}; available: "
+            f"{', '.join(MODEL_NAMES)}"
+        )
+
+
+#: Nominal shard clock for converting simulated cycle makespans into
+#: requests/sec — 1 GHz, the edge-DLA class frequency the paper's P&R
+#: closes timing at.
+SERVING_CLOCK_HZ = 1_000_000_000
+
+
+def run_serving_benchmark(
+    models: "tuple[str, ...] | list[str]" = DEFAULT_SERVING_MODELS,
+    worker_counts: "tuple[int, ...] | list[int]" = DEFAULT_WORKER_COUNTS,
+    requests: int = 32,
+    quick: bool = False,
+    scheduling: bool = True,
+    config: CoreConfig | None = None,
+    engine: str = "tempus",
+    max_batch: int = 8,
+    max_wait: float = 0.002,
+    repeats: int = 3,
+    out_dir: "str | Path | None" = "results",
+) -> dict:
+    """Benchmark the sharded serving runtime across worker counts.
+
+    For every model the single-process :class:`NetworkRunner` run over
+    the same request stream is the reference; every worker count is
+    verified bit-identical (outputs and cycles) before its throughput
+    is recorded.
+
+    The primary throughput metric is **simulated**, like every other
+    cycle-derived number in this repo: the shards model replicated
+    compute units running in parallel, so the request stream completes
+    after ``max(per-shard cycles)`` — the makespan — and
+    ``requests_per_second = requests * clock_hz / makespan``.  This is
+    deterministic and host-independent (a single-core CI box can't
+    demonstrate process-level parallelism on the wall clock; the
+    simulated clock can).  Host wall time is still recorded per point
+    (``wall_seconds`` / ``host_images_per_second``), measured in steady
+    state: the shard pool is started and warmed before timing, so
+    fork/compile costs don't pollute it.
+
+    Args:
+        models: zoo model names (the artifact contract wants >= 3).
+        worker_counts: shard-pool sizes to sweep (e.g. (1, 2, 4)).
+        requests: single-image requests per timed run.
+        quick: smaller width/resolution preset for smoke runs.
+        scheduling: apply burst-aware tile scheduling when lowering.
+        config: array geometry (defaults to 16x16 INT8).
+        engine: "tempus" or "binary".
+        max_batch / max_wait: dynamic-batching knobs.
+        repeats: best-of-N wall-clock repeats per worker count.
+        out_dir: where BENCH_serving.json is written (None = don't).
+
+    Returns:
+        the record written to the artifact.
+    """
+    from repro.serve import ShardedRunner
+
+    _check_models(models)
+    if requests < 1:
+        raise DataflowError("requests must be >= 1")
+    if any(count < 1 for count in worker_counts):
+        raise DataflowError("worker counts must be >= 1")
+    # Deduplicate and sort ascending so the sweep (and the monotonic
+    # scaling flag) always reads smallest -> largest pool.
+    worker_counts = tuple(
+        sorted(dict.fromkeys(int(count) for count in worker_counts))
+    )
+    config = config if config is not None else CoreConfig()
+    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
+
+    reference_runner = NetworkRunner(
+        config,
+        engine=engine,
+        scheduling=scheduling,
+        scale=scale,
+        input_size=input_size,
+    )
+
+    model_records = []
+    for name in models:
+        reference = reference_runner.run(name, requests)
+        sweep = []
+        for workers in worker_counts:
+            with ShardedRunner(
+                workers=workers,
+                config=config,
+                engine=engine,
+                scheduling=scheduling,
+                scale=scale,
+                input_size=input_size,
+                max_batch=max_batch,
+                max_wait=max_wait,
+            ) as server:
+                server.start(name)
+                server.run(name, requests)  # warm up pool + caches
+                result, seconds = measure(
+                    lambda: server.run(name, requests), repeats
+                )
+            identical = bool(
+                np.array_equal(result.output, reference.output)
+                and result.conv_cycles == reference.conv_cycles
+            )
+            if not identical:
+                raise DataflowError(
+                    f"{name}: sharded run with {workers} worker(s) "
+                    "diverged from the single-process reference"
+                )
+            record = _engine_record(result, seconds)
+            makespan = result.makespan_cycles
+            record["workers"] = int(workers)
+            record["jobs"] = int(result.jobs)
+            record["shard_cycles"] = [
+                int(cycles) for cycles in result.shard_cycles
+            ]
+            record["makespan_cycles"] = int(makespan)
+            record["requests_per_second"] = float(
+                requests_per_second(
+                    requests, makespan / SERVING_CLOCK_HZ
+                )
+            )
+            record["bit_identical_to_reference"] = identical
+            # A single worker's makespan is the whole stream's cycle
+            # total, so this baseline is exact even when the sweep
+            # doesn't include a 1-worker point.
+            record["speedup_vs_one_worker"] = float(
+                result.conv_cycles / max(makespan, 1)
+            )
+            sweep.append(record)
+        model_records.append(
+            {
+                "model": name,
+                "requests": int(requests),
+                "reference_conv_cycles": int(reference.conv_cycles),
+                "workers": sweep,
+                "requests_per_second_monotonic": all(
+                    later["requests_per_second"]
+                    >= earlier["requests_per_second"]
+                    for earlier, later in zip(sweep, sweep[1:])
+                ),
+            }
+        )
+
+    payload = {
+        "benchmark": "sharded_serving",
+        "engine": engine,
+        "config": {
+            "k": config.k,
+            "n": config.n,
+            "precision": config.precision.name,
+        },
+        "quick": bool(quick),
+        "scheduling": bool(scheduling),
+        "scale": scale,
+        "input_size": input_size,
+        "max_batch": int(max_batch),
+        "max_wait": float(max_wait),
+        "repeats": int(repeats),
+        "clock_hz": SERVING_CLOCK_HZ,
+        "worker_counts": [int(count) for count in worker_counts],
+        "models": model_records,
+    }
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        artifact = out_path / "BENCH_serving.json"
+        artifact.write_text(json.dumps(payload, indent=2) + "\n")
+        payload["artifact"] = str(artifact)
+    return payload
+
+
+def render_serving_benchmark(payload: dict) -> str:
+    """Human-readable summary of a serving benchmark payload."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for record in payload["models"]:
+        for sweep in record["workers"]:
+            rows.append(
+                (
+                    record["model"],
+                    sweep["workers"],
+                    record["requests"],
+                    f"{sweep['makespan_cycles']:,}",
+                    f"{sweep['requests_per_second']:,.0f}",
+                    f"{sweep['speedup_vs_one_worker']:.2f}x",
+                    f"{sweep['images_per_million_cycles']:.3f}",
+                    "yes"
+                    if sweep["bit_identical_to_reference"]
+                    else "NO",
+                )
+            )
+    config = payload["config"]
+    return format_table(
+        [
+            "model",
+            "workers",
+            "requests",
+            "makespan cycles",
+            "req/s (sim)",
+            "vs 1 worker",
+            "img/Mcycle",
+            "bit-identical",
+        ],
+        rows,
+        title=(
+            f"sharded serving ({payload['engine']}) on "
+            f"{config['k']}x{config['n']} {config['precision']} "
+            f"(scale {payload['scale']}, input {payload['input_size']}, "
+            f"max_batch {payload['max_batch']})"
+        ),
+    )
 
 
 def render_benchmark(payload: dict) -> str:

@@ -1,0 +1,210 @@
+"""Shared batched execution engine for compiled networks.
+
+:class:`BatchExecutor` is the single implementation of the vectorized
+forward pass over a :class:`~repro.runtime.lowering.CompiledNetwork`:
+seam adapters, PDP pools, per-group convolution, SDP requantization and
+the analytic cycle accounting.  Both the in-process
+:class:`~repro.runtime.runner.NetworkRunner` and the worker processes of
+:class:`~repro.serve.ShardedRunner` execute batches through this one
+class, which is what makes the sharded serving path bit-identical (in
+outputs *and* cycles) to single-process inference: there is exactly one
+code path to agree with.
+
+The executor is deliberately stateless beyond its compiled program, so
+it can be constructed in a parent process and shipped to workers (the
+compiled network pickles; with ``fork`` it is inherited copy-on-write
+and the burst-map cache entries warmed during lowering come along for
+free — see the cache notes in :mod:`repro.core.latency`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.latency import burst_map_cache_stats, \
+    cached_burst_cycle_map
+from repro.errors import DataflowError
+from repro.nvdla.dataflow import golden_conv2d_batched
+from repro.nvdla.pdp import Pdp
+from repro.nvdla.pipeline import StageResult
+from repro.nvdla.sdp import Sdp
+from repro.runtime.lowering import CompiledNetwork, StagePlan, \
+    stage_atoms
+
+_ENGINES = ("tempus", "binary")
+
+
+def fit_channels(
+    tensor: np.ndarray, target: int, axis: int
+) -> np.ndarray:
+    """Tile or slice the channel axis to the declared input width
+    (branch-seam adapter: concats/splits executed sequentially)."""
+    have = tensor.shape[axis]
+    if have == target:
+        return tensor
+    index = [slice(None)] * tensor.ndim
+    if have > target:
+        index[axis] = slice(0, target)
+        return tensor[tuple(index)]
+    repeats = -(-target // have)
+    tiled = np.concatenate([tensor] * repeats, axis=axis)
+    index[axis] = slice(0, target)
+    return tiled[tuple(index)]
+
+
+def fit_spatial(
+    tensor: np.ndarray, target_hw: tuple, first_axis: int
+) -> np.ndarray:
+    """Corner-crop or zero-pad H/W to the declared input size."""
+    for offset, target in enumerate(target_hw):
+        axis = first_axis + offset
+        have = tensor.shape[axis]
+        if have > target:
+            index = [slice(None)] * tensor.ndim
+            index[axis] = slice(0, target)
+            tensor = tensor[tuple(index)]
+        elif have < target:
+            pad = [(0, 0)] * tensor.ndim
+            pad[axis] = (0, target - have)
+            tensor = np.pad(tensor, pad, mode="constant")
+    return tensor
+
+
+class BatchExecutor:
+    """Execute (B, C, H, W) batches through one compiled network."""
+
+    def __init__(self, net: CompiledNetwork, engine: str) -> None:
+        if engine not in _ENGINES:
+            raise DataflowError(f"unknown engine {engine!r}")
+        self.net = net
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, tuple, int]:
+        """One vectorized forward pass.
+
+        Args:
+            images: validated (B, C, H, W) int64 batch.
+
+        Returns:
+            (output, stage_records, conv_cycles) — the stage records
+            carry batch-total cycles, matching the
+            :class:`~repro.runtime.runner.NetworkResult` contract.
+        """
+        records: list[StageResult] = []
+        current = images
+        total_cycles = 0
+        for stage in self.net.stages:
+            current = self._fit_batch(stage, current, records)
+            current, cycles = self._conv_batched(stage, current)
+            cycles *= images.shape[0]
+            total_cycles += cycles
+            records.append(
+                StageResult(
+                    name=stage.name,
+                    kind="conv",
+                    output_shape=tuple(current.shape),
+                    conv_cycles=cycles,
+                )
+            )
+        return current, tuple(records), total_cycles
+
+    def run_job(self, images: np.ndarray) -> dict:
+        """Worker entry point: run a batch and report a self-contained
+        record (output, cycles, per-stage cycles, cache delta) that can
+        cross a process boundary."""
+        before = burst_map_cache_stats()
+        output, records, cycles = self.run_batch(images)
+        after = burst_map_cache_stats()
+        return {
+            "output": output,
+            "conv_cycles": cycles,
+            "stage_cycles": tuple(
+                record.conv_cycles for record in records
+            ),
+            "stage_meta": tuple(
+                (record.name, record.kind, record.output_shape)
+                for record in records
+            ),
+            "cache": {
+                "hits": after["hits"] - before["hits"],
+                "misses": after["misses"] - before["misses"],
+            },
+        }
+
+    # --- seam adapters (batched) --------------------------------------
+    def _fit_batch(
+        self,
+        stage: StagePlan,
+        batch: np.ndarray,
+        records: list,
+    ) -> np.ndarray:
+        batch = fit_channels(batch, stage.fit_channels, axis=1)
+        if stage.pool is not None:
+            batch = Pdp(stage.pool).apply_many(batch)
+            records.append(
+                StageResult(
+                    name=f"{stage.name}.pool",
+                    kind="pool",
+                    output_shape=tuple(batch.shape),
+                )
+            )
+        return fit_spatial(batch, stage.fit_hw, first_axis=2)
+
+    # --- conv execution -----------------------------------------------
+    def _conv_batched(
+        self, stage: StagePlan, batch: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """One conv stage over the whole batch; returns per-image
+        cycles (the caller scales by batch size)."""
+        layer = stage.layer
+        channels_per_group = layer.channels_per_group
+        pad_h, pad_w = layer.padding_h, layer.padding_w
+        padded = np.pad(
+            batch,
+            ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)),
+            mode="constant",
+        )
+        outputs = []
+        cycles = 0
+        for group, weights in enumerate(stage.weights):
+            group_input = padded[
+                :,
+                group * channels_per_group : (group + 1)
+                * channels_per_group,
+            ]
+            schedule = stage.schedules[group]
+            if schedule is not None:
+                group_input = group_input[:, schedule.channel_order]
+            group_out = golden_conv2d_batched(
+                group_input, weights, layer.stride, 0
+            )
+            if schedule is not None:
+                group_out = group_out[:, stage.kernel_restores[group]]
+            outputs.append(group_out)
+            cycles += self.group_cycles(stage, weights)
+        psums = (
+            np.concatenate(outputs, axis=1)
+            if len(outputs) > 1
+            else outputs[0]
+        )
+        return Sdp(stage.sdp).apply_many(psums), cycles
+
+    def group_cycles(
+        self, stage: StagePlan, weights: np.ndarray
+    ) -> int:
+        """Analytic per-image cycles of one layer group — identical to
+        the formula the cores' ``fast`` mode uses (and therefore to the
+        burst/tick simulations, by the equivalence tests)."""
+        config = self.net.config
+        layer = stage.layer
+        if self.engine == "binary":
+            atoms = stage_atoms(stage, config) // layer.groups
+            return atoms + config.pipeline_latency
+        per_pixel = int(
+            cached_burst_cycle_map(weights, config, self.net.code).sum()
+        )
+        pixels = layer.out_height * layer.out_width
+        return per_pixel * pixels + config.pipeline_latency + 1

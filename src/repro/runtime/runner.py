@@ -33,21 +33,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.latency import burst_map_cache_stats, \
-    cached_burst_cycle_map
+from repro.core.latency import burst_map_cache_stats
 from repro.errors import DataflowError
 from repro.models.weights import load_quantized_model
 from repro.nvdla.config import CoreConfig
-from repro.nvdla.dataflow import golden_conv2d_batched
 from repro.nvdla.pdp import Pdp
 from repro.nvdla.pipeline import StageResult
 from repro.nvdla.sdp import Sdp
+from repro.runtime.executor import BatchExecutor, _ENGINES, \
+    fit_channels, fit_spatial
 from repro.runtime.lowering import CompiledNetwork, StagePlan, \
-    lower_model, stage_atoms
+    lower_model
 from repro.unary.encoding import UnaryCode
 from repro.utils.rng import make_rng
-
-_ENGINES = ("tempus", "binary")
 
 
 @dataclass(frozen=True)
@@ -121,6 +119,7 @@ class NetworkRunner:
         self.input_size = input_size
         self.code = code
         self._compiled: dict[str, CompiledNetwork] = {}
+        self._executors: dict[str, BatchExecutor] = {}
 
     # ------------------------------------------------------------------
     def compile(self, model_name: str) -> CompiledNetwork:
@@ -139,6 +138,16 @@ class NetworkRunner:
                 code=self.code,
             )
         return self._compiled[model_name]
+
+    def executor(self, model_name: str) -> BatchExecutor:
+        """The (cached) batched executor for one compiled model — the
+        same object the sharded serving workers run, which is what pins
+        the two paths bit-identical."""
+        if model_name not in self._executors:
+            self._executors[model_name] = BatchExecutor(
+                self.compile(model_name), self.engine
+            )
+        return self._executors[model_name]
 
     def synthesize_batch(
         self, model_name: str, batch_size: int
@@ -167,28 +176,15 @@ class NetworkRunner:
         net = self.compile(model_name)
         images = self._as_batch(net, model_name, batch)
         before = burst_map_cache_stats()
-        records: list[StageResult] = []
-        current = images
-        total_cycles = 0
-        for stage in net.stages:
-            current = self._fit_batch(stage, current, records)
-            current, cycles = self._conv_batched(net, stage, current)
-            cycles *= images.shape[0]
-            total_cycles += cycles
-            records.append(
-                StageResult(
-                    name=stage.name,
-                    kind="conv",
-                    output_shape=tuple(current.shape),
-                    conv_cycles=cycles,
-                )
-            )
+        output, records, total_cycles = self.executor(
+            model_name
+        ).run_batch(images)
         return NetworkResult(
             model=net.name,
             engine=self.engine,
             batch_size=images.shape[0],
-            output=current,
-            stages=tuple(records),
+            output=output,
+            stages=records,
             conv_cycles=total_cycles,
             macs=net.macs_per_image * images.shape[0],
             cache=self._cache_delta(before),
@@ -309,32 +305,14 @@ class NetworkRunner:
             "hit_rate": hits / lookups if lookups else 0.0,
         }
 
-    # --- seam adapters (batched) --------------------------------------
-    def _fit_batch(
-        self,
-        stage: StagePlan,
-        batch: np.ndarray,
-        records: list,
-    ) -> np.ndarray:
-        batch = self._fit_channels(batch, stage.fit_channels, axis=1)
-        if stage.pool is not None:
-            batch = Pdp(stage.pool).apply_many(batch)
-            records.append(
-                StageResult(
-                    name=f"{stage.name}.pool",
-                    kind="pool",
-                    output_shape=tuple(batch.shape),
-                )
-            )
-        return self._fit_spatial(batch, stage.fit_hw, first_axis=2)
-
+    # --- seam adapters (per-image) ------------------------------------
     def _fit_single(
         self,
         stage: StagePlan,
         image: np.ndarray,
         records: list,
     ) -> np.ndarray:
-        image = self._fit_channels(image, stage.fit_channels, axis=0)
+        image = fit_channels(image, stage.fit_channels, axis=0)
         if stage.pool is not None:
             image = Pdp(stage.pool).apply(image)
             records.append(
@@ -344,86 +322,9 @@ class NetworkRunner:
                     output_shape=tuple(image.shape),
                 )
             )
-        return self._fit_spatial(image, stage.fit_hw, first_axis=1)
+        return fit_spatial(image, stage.fit_hw, first_axis=1)
 
-    @staticmethod
-    def _fit_channels(
-        tensor: np.ndarray, target: int, axis: int
-    ) -> np.ndarray:
-        """Tile or slice the channel axis to the declared input width
-        (branch-seam adapter: concats/splits executed sequentially)."""
-        have = tensor.shape[axis]
-        if have == target:
-            return tensor
-        index = [slice(None)] * tensor.ndim
-        if have > target:
-            index[axis] = slice(0, target)
-            return tensor[tuple(index)]
-        repeats = -(-target // have)
-        tiled = np.concatenate([tensor] * repeats, axis=axis)
-        index[axis] = slice(0, target)
-        return tiled[tuple(index)]
-
-    @staticmethod
-    def _fit_spatial(
-        tensor: np.ndarray, target_hw: tuple, first_axis: int
-    ) -> np.ndarray:
-        """Corner-crop or zero-pad H/W to the declared input size."""
-        for offset, target in enumerate(target_hw):
-            axis = first_axis + offset
-            have = tensor.shape[axis]
-            if have > target:
-                index = [slice(None)] * tensor.ndim
-                index[axis] = slice(0, target)
-                tensor = tensor[tuple(index)]
-            elif have < target:
-                pad = [(0, 0)] * tensor.ndim
-                pad[axis] = (0, target - have)
-                tensor = np.pad(tensor, pad, mode="constant")
-        return tensor
-
-    # --- conv execution -----------------------------------------------
-    def _conv_batched(
-        self,
-        net: CompiledNetwork,
-        stage: StagePlan,
-        batch: np.ndarray,
-    ) -> tuple[np.ndarray, int]:
-        """One conv stage over the whole batch; returns per-image
-        cycles (the caller scales by batch size)."""
-        layer = stage.layer
-        channels_per_group = layer.channels_per_group
-        pad_h, pad_w = layer.padding_h, layer.padding_w
-        padded = np.pad(
-            batch,
-            ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)),
-            mode="constant",
-        )
-        outputs = []
-        cycles = 0
-        for group, weights in enumerate(stage.weights):
-            group_input = padded[
-                :,
-                group * channels_per_group : (group + 1)
-                * channels_per_group,
-            ]
-            schedule = stage.schedules[group]
-            if schedule is not None:
-                group_input = group_input[:, schedule.channel_order]
-            group_out = golden_conv2d_batched(
-                group_input, weights, layer.stride, 0
-            )
-            if schedule is not None:
-                group_out = group_out[:, stage.kernel_restores[group]]
-            outputs.append(group_out)
-            cycles += self._group_cycles(net, stage, weights)
-        psums = (
-            np.concatenate(outputs, axis=1)
-            if len(outputs) > 1
-            else outputs[0]
-        )
-        return Sdp(stage.sdp).apply_many(psums), cycles
-
+    # --- conv execution (per-image reference) -------------------------
     def _conv_single(
         self, stage: StagePlan, image: np.ndarray, core
     ) -> tuple[np.ndarray, int]:
@@ -460,23 +361,3 @@ class NetworkRunner:
             else outputs[0]
         )
         return Sdp(stage.sdp).apply(psums), cycles
-
-    def _group_cycles(
-        self,
-        net: CompiledNetwork,
-        stage: StagePlan,
-        weights: np.ndarray,
-    ) -> int:
-        """Analytic per-image cycles of one layer group — identical to
-        the formula the cores' ``fast`` mode uses (and therefore to the
-        burst/tick simulations, by the equivalence tests)."""
-        config = net.config
-        layer = stage.layer
-        if self.engine == "binary":
-            atoms = stage_atoms(stage, config) // layer.groups
-            return atoms + config.pipeline_latency
-        per_pixel = int(
-            cached_burst_cycle_map(weights, config, net.code).sum()
-        )
-        pixels = layer.out_height * layer.out_width
-        return per_pixel * pixels + config.pipeline_latency + 1

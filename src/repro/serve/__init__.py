@@ -1,0 +1,18 @@
+"""Sharded multi-worker serving on top of :mod:`repro.runtime`.
+
+- :class:`~repro.serve.queue.RequestQueue` — dynamic-batching
+  front-end (max-batch / max-wait coalescing, submission-order seqs).
+- :class:`~repro.serve.sharded.ShardedRunner` — compile once, fork N
+  shard workers, dispatch coalesced batches round-robin, reassemble
+  bit-identical results.
+"""
+
+from repro.serve.queue import Request, RequestQueue
+from repro.serve.sharded import ShardedResult, ShardedRunner
+
+__all__ = [
+    "Request",
+    "RequestQueue",
+    "ShardedResult",
+    "ShardedRunner",
+]

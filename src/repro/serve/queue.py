@@ -1,0 +1,109 @@
+"""Dynamic-batching request queue for the sharded serving runtime.
+
+Single-image requests arrive one at a time; dispatching each alone
+would waste the vectorized executor (one einsum pass per layer amortizes
+over the whole batch).  :class:`RequestQueue` coalesces: a batch closes
+as soon as ``max_batch`` requests are waiting, or when ``max_wait``
+seconds have passed since the batch's first request arrived — the
+classic throughput/latency knob of serving front-ends.
+
+Each request carries a monotonically increasing sequence number, so the
+dispatcher can scatter coalesced batches across shards in any order and
+results are still reassembled into exact submission order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataflowError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One pending single-image inference request.
+
+    Attributes:
+        seq: submission-order sequence number (0-based).
+        image: the (C, H, W) integer image.
+    """
+
+    seq: int
+    image: np.ndarray
+
+
+class RequestQueue:
+    """Coalesce single-image requests into dispatchable batches."""
+
+    def __init__(
+        self, max_batch: int = 8, max_wait: float = 0.002
+    ) -> None:
+        """Args:
+        max_batch: largest batch a shard receives (>= 1).
+        max_wait: seconds to hold an open batch for stragglers.
+        """
+        if max_batch < 1:
+            raise DataflowError("max_batch must be >= 1")
+        if max_wait < 0:
+            raise DataflowError("max_wait must be >= 0")
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._pending: list[Request] = []
+        self._next_seq = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def submit(self, image: np.ndarray) -> int:
+        """Enqueue one image; returns its sequence number."""
+        with self._lock:
+            if self._closed:
+                raise DataflowError("queue is closed")
+            request = Request(self._next_seq, image)
+            self._next_seq += 1
+            self._pending.append(request)
+            self._ready.notify()
+            return request.seq
+
+    def close(self) -> None:
+        """Stop accepting requests; pending batches still drain."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+    def next_batch(self) -> "list[Request] | None":
+        """Block until a coalesced batch is ready.
+
+        Returns up to ``max_batch`` requests in submission order, or
+        ``None`` once the queue is closed and drained.  The batch ships
+        as soon as it is full, the queue closes, or ``max_wait`` seconds
+        pass after its first request was seen.
+        """
+        with self._ready:
+            while not self._pending and not self._closed:
+                self._ready.wait()
+            if not self._pending:
+                return None  # closed and fully drained
+            deadline = time.monotonic() + self.max_wait
+            while (
+                len(self._pending) < self.max_batch
+                and not self._closed
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._ready.wait(timeout=remaining)
+            return self._take(min(len(self._pending), self.max_batch))
+
+    def _take(self, count: int) -> list[Request]:
+        batch = self._pending[:count]
+        del self._pending[:count]
+        return batch

@@ -1,0 +1,359 @@
+"""Sharded multi-process serving runtime.
+
+The software analogue of the paper's scaling story (replicate small
+area-efficient compute units instead of growing one): a
+:class:`ShardedRunner` compiles a zoo model **once** in the parent
+process (:func:`~repro.runtime.lowering.lower_model`) and ships the
+lowered program to N worker processes, each holding its own
+:class:`~repro.runtime.executor.BatchExecutor`.  A dynamic-batching
+front-end (:class:`~repro.serve.queue.RequestQueue`) coalesces
+single-image requests into batches and a dispatcher thread scatters
+them round-robin across the shards; results are reassembled by request
+sequence number.
+
+Because every shard executes the *same* ``BatchExecutor`` code path as
+the in-process :class:`~repro.runtime.runner.NetworkRunner`, and both
+outputs and analytic cycle counts are independent of how a request
+stream is split into batches (images are data-independent; per-stage
+cycles are ``per_image_cycles * B``), a sharded run is bit-identical —
+outputs *and* cycles — to ``NetworkRunner.run`` on the equivalent
+batch.  The randomized differential suite
+(``tests/serve/test_sharded_equivalence.py``) fuzzes exactly that
+claim across nets, batch sizes and worker counts.
+
+Start methods: ``fork`` (default where available) inherits the compiled
+program and a warm burst-map cache copy-on-write; ``spawn`` pickles the
+program to each worker, whose fresh process rebuilds its burst maps on
+first use.  Both are safe — see the cache notes in
+:mod:`repro.core.latency`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass
+from queue import Empty
+
+import numpy as np
+
+from repro.errors import DataflowError
+from repro.nvdla.pipeline import StageResult
+from repro.runtime.executor import BatchExecutor
+from repro.runtime.lowering import CompiledNetwork
+from repro.runtime.runner import NetworkResult, NetworkRunner
+from repro.serve.queue import Request, RequestQueue
+
+
+@dataclass(frozen=True)
+class ShardedResult(NetworkResult):
+    """A :class:`NetworkResult` plus the shard-level dispatch record.
+
+    Attributes:
+        shard_cycles: per-shard total conv cycles (sums to
+            ``conv_cycles``).  The shards model *replicated* compute
+            units running in parallel, so the request stream's
+            simulated completion time is the max over shards — the
+            makespan — not the sum.
+        jobs: number of coalesced batches dispatched.
+    """
+
+    shard_cycles: tuple = ()
+    jobs: int = 0
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Simulated cycles until the last shard finishes its share."""
+        return max(self.shard_cycles) if self.shard_cycles else 0
+
+
+def _worker_main(payload, job_queue, result_queue) -> None:
+    """Shard worker loop: execute dispatched batches until poisoned.
+
+    Runs in a child process.  ``payload`` is ``(net, engine)`` — with
+    the ``fork`` start method it arrives by inheritance, with ``spawn``
+    it is pickled.  Every job is executed through the same
+    :class:`BatchExecutor` the single-process runner uses.
+    """
+    net, engine = payload
+    executor = BatchExecutor(net, engine)
+    while True:
+        job = job_queue.get()
+        if job is None:
+            break
+        job_id, images = job
+        try:
+            record = executor.run_job(np.asarray(images))
+            result_queue.put((job_id, record, None))
+        except Exception as error:  # surface, don't hang the parent
+            result_queue.put((job_id, None, repr(error)))
+
+
+class ShardedRunner:
+    """Serve single-image requests across N worker processes.
+
+    The runner mirrors :class:`NetworkRunner`'s constructor knobs (it
+    delegates compilation and input synthesis to one internally) and
+    adds the serving-specific ones: worker count, dynamic-batching
+    limits and the multiprocessing start method.
+
+    Usage::
+
+        with ShardedRunner(workers=4, scale=0.25, input_size=64) as srv:
+            result = srv.run("mobilenet_v2", 32)   # 32 requests
+        # result is bit-identical to NetworkRunner.run(..., 32)
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        config=None,
+        engine: str = "tempus",
+        scheduling: bool = True,
+        scale: float = 1.0,
+        input_size: "int | None" = None,
+        code=None,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        start_method: "str | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise DataflowError("workers must be >= 1")
+        self.workers = workers
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._runner = NetworkRunner(
+            config,
+            engine=engine,
+            scheduling=scheduling,
+            scale=scale,
+            input_size=input_size,
+            code=code,
+        )
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else methods[0]
+        elif start_method not in methods:
+            raise DataflowError(
+                f"start method {start_method!r} unavailable "
+                f"(have: {', '.join(methods)})"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._model: "str | None" = None
+        self._processes: list = []
+        self._job_queues: list = []
+        self._result_queue = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def engine(self) -> str:
+        return self._runner.engine
+
+    def compile(self, model_name: str) -> CompiledNetwork:
+        """Lower (and cache) one zoo model in the parent process."""
+        return self._runner.compile(model_name)
+
+    def synthesize_batch(
+        self, model_name: str, batch_size: int
+    ) -> np.ndarray:
+        return self._runner.synthesize_batch(model_name, batch_size)
+
+    def start(self, model_name: str) -> None:
+        """Fork the shard pool for one model (compile happens here,
+        once, in the parent)."""
+        if self._processes:
+            if self._model == model_name:
+                return
+            self.stop()
+        net = self.compile(model_name)
+        payload = (net, self.engine)
+        self._result_queue = self._ctx.Queue()
+        self._job_queues = []
+        self._processes = []
+        for _ in range(self.workers):
+            job_queue = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(payload, job_queue, self._result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._job_queues.append(job_queue)
+            self._processes.append(process)
+        self._model = model_name
+
+    def stop(self) -> None:
+        """Drain and join the shard pool."""
+        for job_queue in self._job_queues:
+            job_queue.put(None)
+        for process in self._processes:
+            process.join(timeout=30)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        for job_queue in self._job_queues:
+            job_queue.close()
+        if self._result_queue is not None:
+            self._result_queue.close()
+        self._processes = []
+        self._job_queues = []
+        self._result_queue = None
+        self._model = None
+
+    def close(self) -> None:
+        self.stop()
+
+    def __enter__(self) -> "ShardedRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _collect_result(self) -> tuple:
+        """Next worker result, watching for shards that died without
+        reporting (hard kill, OOM, native crash): a dead shard raises
+        instead of hanging the parent on the result queue."""
+        while True:
+            try:
+                return self._result_queue.get(timeout=1.0)
+            except Empty:
+                dead = [
+                    index
+                    for index, process in enumerate(self._processes)
+                    if not process.is_alive()
+                ]
+                if dead:
+                    codes = [
+                        self._processes[index].exitcode
+                        for index in dead
+                    ]
+                    self.stop()
+                    raise DataflowError(
+                        f"shard worker(s) {dead} died without "
+                        f"reporting (exit codes {codes})"
+                    )
+
+    # -- serving -------------------------------------------------------
+    def run(
+        self, model_name: str, batch: "int | np.ndarray"
+    ) -> NetworkResult:
+        """Serve a request stream and return a :class:`NetworkResult`.
+
+        Args:
+            model_name: zoo model name.
+            batch: an int B (B synthesized requests — the same images
+                ``NetworkRunner.run(model, B)`` would synthesize), a
+                single (C, H, W) image, or a (B, C, H, W) tensor whose
+                images are submitted as B independent requests.
+
+        The result's output rows are in request-submission order and
+        its cycle totals are bit-identical to the single-process
+        batched run over the same images.
+        """
+        self.start(model_name)
+        net = self._runner.compile(model_name)
+        images = self._runner._as_batch(net, model_name, batch)
+        queue = RequestQueue(
+            max_batch=self.max_batch, max_wait=self.max_wait
+        )
+        jobs: dict[int, list[Request]] = {}
+        dispatch_errors: list[BaseException] = []
+
+        def _dispatch() -> None:
+            job_id = 0
+            try:
+                while True:
+                    coalesced = queue.next_batch()
+                    if coalesced is None:
+                        return
+                    shard = job_id % len(self._job_queues)
+                    self._job_queues[shard].put(
+                        (
+                            job_id,
+                            np.stack(
+                                [request.image for request in coalesced]
+                            ),
+                        )
+                    )
+                    # Record only after a successful put: the collector
+                    # waits for exactly the jobs that actually shipped.
+                    jobs[job_id] = coalesced
+                    job_id += 1
+            except BaseException as error:
+                dispatch_errors.append(error)
+
+        dispatcher = threading.Thread(target=_dispatch, daemon=True)
+        dispatcher.start()
+        for index in range(images.shape[0]):
+            queue.submit(images[index])
+        queue.close()
+        dispatcher.join()
+        if dispatch_errors:
+            self.stop()
+            raise DataflowError(
+                f"dispatcher failed: {dispatch_errors[0]!r}"
+            )
+
+        outputs: "list[np.ndarray | None]" = [None] * images.shape[0]
+        stage_cycles: "list[int] | None" = None
+        stage_meta = None
+        total_cycles = 0
+        shard_cycles = [0] * len(self._job_queues)
+        cache_hits = 0
+        cache_misses = 0
+        for _ in range(len(jobs)):
+            job_id, record, error = self._collect_result()
+            if error is not None:
+                self.stop()
+                raise DataflowError(
+                    f"shard worker failed on job {job_id}: {error}"
+                )
+            requests = jobs[job_id]
+            for row, request in enumerate(requests):
+                outputs[request.seq] = record["output"][row]
+            total_cycles += record["conv_cycles"]
+            shard_cycles[job_id % len(shard_cycles)] += record[
+                "conv_cycles"
+            ]
+            cache_hits += record["cache"]["hits"]
+            cache_misses += record["cache"]["misses"]
+            if stage_cycles is None:
+                stage_cycles = list(record["stage_cycles"])
+                stage_meta = record["stage_meta"]
+            else:
+                for position, cycles in enumerate(
+                    record["stage_cycles"]
+                ):
+                    stage_cycles[position] += cycles
+        output = np.stack(outputs)
+        records = tuple(
+            StageResult(
+                name=name,
+                kind=kind,
+                # Stage shapes describe the whole request stream; the
+                # per-job leading dim is a dispatch detail.
+                output_shape=(images.shape[0],) + tuple(shape[1:]),
+                conv_cycles=cycles,
+            )
+            for (name, kind, shape), cycles in zip(
+                stage_meta, stage_cycles
+            )
+        )
+        lookups = cache_hits + cache_misses
+        return ShardedResult(
+            model=net.name,
+            engine=self.engine,
+            batch_size=images.shape[0],
+            output=output,
+            stages=records,
+            conv_cycles=total_cycles,
+            macs=net.macs_per_image * images.shape[0],
+            cache={
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": cache_hits / lookups if lookups else 0.0,
+            },
+            shard_cycles=tuple(shard_cycles),
+            jobs=len(jobs),
+        )

@@ -1,11 +1,98 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Randomized-suite reproducibility: every RNG entry point — the repo's
+:func:`repro.utils.rng.make_rng` streams, numpy's legacy global state,
+and the per-test ``fuzz_rng`` generators the differential suites draw
+from — is seeded from the ``PYTEST_SEED`` environment variable
+(decimal or ``0x..`` hex).  When the variable is unset the default is
+the paper seed, so a plain ``pytest`` run reproduces the pinned
+expectations exactly.  Failing tests print the active seed so any
+randomized failure can be replayed with
+``PYTEST_SEED=<seed> pytest <nodeid>``.
+"""
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.nvdla.config import CoreConfig
 from repro.utils.intrange import INT4, INT8
-from repro.utils.rng import make_rng
+from repro.utils.rng import (
+    GLOBAL_SEED,
+    make_rng,
+    set_global_seed,
+    stable_hash,
+)
+
+
+def _seed_from_env() -> int:
+    raw = os.environ.get("PYTEST_SEED")
+    if raw is None:
+        return GLOBAL_SEED
+    try:
+        return int(raw, 0)
+    except ValueError as exc:
+        raise pytest.UsageError(
+            f"PYTEST_SEED={raw!r} is not an integer "
+            "(decimal or 0x-prefixed hex)"
+        ) from exc
+
+
+PYTEST_SEED = _seed_from_env()
+
+# Redirect every make_rng stream (synthesized weights, inputs, biases,
+# placement annealing, ...) at the chosen seed before any test module
+# builds a model.  With PYTEST_SEED unset this is a no-op.
+set_global_seed(PYTEST_SEED)
+
+
+def pytest_report_header(config):
+    return (
+        f"randomized-suite seed: PYTEST_SEED={PYTEST_SEED} "
+        f"({'default' if 'PYTEST_SEED' not in os.environ else 'from env'})"
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(
+            (
+                "randomized seed",
+                f"PYTEST_SEED={PYTEST_SEED}  "
+                f"(reproduce with: PYTEST_SEED={PYTEST_SEED} "
+                f"pytest {item.nodeid!r})",
+            )
+        )
+
+
+@pytest.fixture(autouse=True)
+def _seed_numpy_global(request) -> None:
+    """Pin numpy's legacy global RNG per test, derived from the session
+    seed and the test id, so stray ``np.random.*`` draws are
+    reproducible too."""
+    np.random.seed(
+        (PYTEST_SEED ^ stable_hash(request.node.nodeid)) & 0xFFFFFFFF
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_seed() -> int:
+    """The session's randomized-suite seed (``PYTEST_SEED`` env var)."""
+    return PYTEST_SEED
+
+
+@pytest.fixture
+def fuzz_rng(request) -> np.random.Generator:
+    """Per-test generator for randomized differential suites: seeded
+    from PYTEST_SEED plus the test's nodeid, so each test draws an
+    independent, replayable stream."""
+    return np.random.default_rng(
+        [PYTEST_SEED & 0xFFFFFFFFFFFFFFFF, stable_hash(request.node.nodeid)]
+    )
 
 
 @pytest.fixture

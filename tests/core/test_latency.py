@@ -1,5 +1,7 @@
 """Tests for the analytic latency model."""
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -195,6 +197,92 @@ class TestBurstMapCache:
         cycles = cached_burst_cycle_map(second, config)
         assert cycles[0, 0, 0, 0] == 1
         del key_id
+
+
+def _fork_child_probe(weights, conn):
+    """Runs in a forked worker: report the inherited cache state, that
+    warm entries still hit, and that mutation-under-cache still
+    invalidates on this side of the fork."""
+    inherited = burst_map_cache_stats()
+    config = CoreConfig(k=2, n=2)
+    cached_burst_cycle_map(weights, config)  # should hit, not recompute
+    after_lookup = burst_map_cache_stats()
+    writable = weights.copy()
+    cached_burst_cycle_map(writable, config)
+    writable[:] = 1  # mutate under the child's cache
+    child_cycles = cached_burst_cycle_map(writable, config)
+    conn.send(
+        {
+            "inherited": inherited,
+            "after_lookup": after_lookup,
+            "final": burst_map_cache_stats(),
+            "child_cycles_max": int(child_cycles.max()),
+        }
+    )
+    conn.close()
+
+
+class TestBurstMapCacheAcrossFork:
+    """The cache must be safely shareable with forked serving workers:
+    warm entries keep hitting in the child, counters travel with it,
+    and invalidation keeps working on both sides independently."""
+
+    @pytest.fixture()
+    def fork_ctx(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork start method")
+        return multiprocessing.get_context("fork")
+
+    def test_stats_and_warm_entries_survive_fork(self, fork_ctx):
+        clear_burst_map_cache()
+        config = CoreConfig(k=2, n=2)
+        weights = np.full((2, 2, 1, 1), 8, dtype=np.int64)
+        parent_map = cached_burst_cycle_map(weights, config)
+        parent_before = burst_map_cache_stats()
+        assert parent_before["misses"] == 1
+        assert not parent_before["inherited"]
+
+        receiver, sender = fork_ctx.Pipe(duplex=False)
+        child = fork_ctx.Process(
+            target=_fork_child_probe, args=(weights, sender)
+        )
+        child.start()
+        assert receiver.poll(30), "fork child never reported"
+        report = receiver.recv()
+        child.join(timeout=30)
+        assert child.exitcode == 0
+
+        # The child saw the parent's counters and entries...
+        assert report["inherited"]["inherited"] is True
+        assert report["inherited"]["entries"] == 1
+        assert report["inherited"]["misses"] == 1
+        # ...its lookup of the warm tensor HIT instead of recomputing...
+        assert (
+            report["after_lookup"]["hits"]
+            == parent_before["hits"] + 1
+        )
+        assert report["after_lookup"]["misses"] == 1
+        # ...and mutation-under-cache still invalidates in the child
+        # (the regression this suite pins: stale maps must never be
+        # served, in any process).
+        assert report["final"]["invalidations"] == 1
+        assert report["child_cycles_max"] == 1
+
+        # Process isolation: the child's activity never touched the
+        # parent's counters or its cached map.
+        assert burst_map_cache_stats() == parent_before
+        assert np.array_equal(
+            cached_burst_cycle_map(weights, config), parent_map
+        )
+        assert burst_map_cache_stats()["hits"] == (
+            parent_before["hits"] + 1
+        )
+
+    def test_clear_claims_cache_for_current_process(self):
+        clear_burst_map_cache()
+        stats = burst_map_cache_stats()
+        assert stats["inherited"] is False
+        assert stats["pid"] > 0
 
 
 class TestTileGatingCounts:

@@ -96,3 +96,75 @@ class TestServeBench:
             ]
         ) == 2
         assert "batch" in capsys.readouterr().err
+
+
+class TestServeBenchWorkers:
+    def test_workers_sweep_writes_serving_artifact(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            [
+                "serve-bench",
+                "--quick",
+                "--workers",
+                "2",
+                "--requests",
+                "4",
+                "--max-batch",
+                "2",
+                "--models",
+                "resnet18",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded serving" in out
+        import json
+
+        payload = json.loads(
+            (tmp_path / "BENCH_serving.json").read_text()
+        )
+        assert payload["worker_counts"] == [1, 2]
+        for record in payload["models"]:
+            for sweep in record["workers"]:
+                assert sweep["bit_identical_to_reference"]
+
+    def test_batch_conflicts_with_workers(self, capsys, tmp_path):
+        """--batch sizes the single-process benchmark; combining it
+        with --workers is rejected instead of silently ignored."""
+        assert main(
+            [
+                "serve-bench",
+                "--workers",
+                "2",
+                "--batch",
+                "8",
+                "--out",
+                str(tmp_path),
+            ]
+        ) == 2
+        assert "--requests" in capsys.readouterr().err
+        assert not (tmp_path / "BENCH_serving.json").exists()
+
+    def test_bad_workers_fails_cleanly(self, capsys, tmp_path):
+        assert main(
+            [
+                "serve-bench",
+                "--workers",
+                "0",
+                "--out",
+                str(tmp_path),
+            ]
+        ) == 2
+        assert "workers" in capsys.readouterr().err
+        assert not (tmp_path / "BENCH_serving.json").exists()
+
+    def test_worker_sweep_powers_of_two(self):
+        from repro.__main__ import _worker_sweep
+
+        assert _worker_sweep(1) == (1,)
+        assert _worker_sweep(2) == (1, 2)
+        assert _worker_sweep(4) == (1, 2, 4)
+        assert _worker_sweep(6) == (1, 2, 4, 6)

@@ -5,10 +5,31 @@ import pytest
 from repro.errors import DataflowError, SynthesisError
 from repro.eval.throughput import (
     fit_improvement_scaling,
+    images_per_million_cycles,
     iso_area_improvement,
     measured_layer_throughput,
     project_improvement,
+    requests_per_second,
 )
+
+
+class TestServingRates:
+    def test_images_per_million_cycles(self):
+        assert images_per_million_cycles(4, 2_000_000) == pytest.approx(
+            2.0
+        )
+
+    def test_requests_per_second(self):
+        assert requests_per_second(32, 0.5) == pytest.approx(64.0)
+
+    def test_zero_seconds_does_not_divide_by_zero(self):
+        assert requests_per_second(32, 0.0) > 0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(DataflowError):
+            requests_per_second(-1, 1.0)
+        with pytest.raises(DataflowError):
+            requests_per_second(1, -1.0)
 
 
 class TestIsoArea:

@@ -1,52 +1,183 @@
-"""Property-based tests for the GEMM engines."""
+"""Property-based and randomized differential tests for the GEMM
+engines.
+
+Two layers of fuzzing, both across every supported precision (INT2 /
+INT4 / INT8) rather than the original INT8-only spot shapes:
+
+* hypothesis property tests — shrinkable counterexamples for the
+  engine-vs-numpy and latency-model invariants;
+* a seeded randomized sweep (``fuzz_rng`` / ``PYTEST_SEED``) that
+  hammers the tempus engines (tuGEMM, tubGEMM) against the binary
+  baseline on shapes and operand distributions biased toward the
+  signed edge values ``-2^(w-1)``, ``0`` and ``2^(w-1) - 1``.
+"""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.errors import PrecisionError
 from repro.gemm import BinaryGemm, TubGemm, TuGemm
-from repro.utils.intrange import INT8
+from repro.utils.intrange import INT2, INT4, INT8
 
-int8 = st.integers(min_value=-128, max_value=127)
+PRECISIONS = (INT2, INT4, INT8)
 
 
-@settings(max_examples=30, deadline=None)
+def _elements(spec):
+    return st.integers(
+        min_value=spec.min_value, max_value=spec.max_value
+    )
+
+
+def _expected_tub_cycles(b):
+    """Column-wise closed form: each outer-product step lasts as long
+    as its largest streamed weight, ceil(|w| / 2) with 2s-unary."""
+    return sum(
+        max(1, (int(np.abs(b[j]).max()) + 1) // 2)
+        for j in range(b.shape[0])
+    )
+
+
+def _expected_tu_cycles(a, b):
+    """Pure unary replays the full B train once per A pulse."""
+    return sum(
+        max(
+            1,
+            int(np.abs(a[:, j]).max()) * int(np.abs(b[j]).max()),
+        )
+        for j in range(a.shape[1])
+    )
+
+
+@pytest.mark.parametrize("spec", PRECISIONS, ids=lambda s: s.name)
+@settings(max_examples=20, deadline=None)
 @given(
     data=st.data(),
     m=st.integers(min_value=1, max_value=5),
     n=st.integers(min_value=1, max_value=5),
     p=st.integers(min_value=1, max_value=5),
 )
-def test_all_engines_agree_with_numpy(data, m, n, p):
-    a = data.draw(arrays(np.int64, (m, n), elements=int8))
-    b = data.draw(arrays(np.int64, (n, p), elements=int8))
+def test_all_engines_agree_with_numpy(spec, data, m, n, p):
+    a = data.draw(arrays(np.int64, (m, n), elements=_elements(spec)))
+    b = data.draw(arrays(np.int64, (n, p), elements=_elements(spec)))
     expected = a @ b
-    for engine in (BinaryGemm(INT8), TuGemm(INT8), TubGemm(INT8)):
+    for engine in (BinaryGemm(spec), TuGemm(spec), TubGemm(spec)):
         assert np.array_equal(engine.multiply(a, b).output, expected)
 
 
-@settings(max_examples=30, deadline=None)
+@pytest.mark.parametrize("spec", PRECISIONS, ids=lambda s: s.name)
+@settings(max_examples=20, deadline=None)
 @given(data=st.data(), n=st.integers(min_value=1, max_value=6))
-def test_latency_ordering_and_bounds(data, n):
-    """binary <= tub <= tu, and every engine respects its worst case."""
-    a = data.draw(arrays(np.int64, (3, n), elements=int8))
-    b = data.draw(arrays(np.int64, (n, 3), elements=int8))
-    binary = BinaryGemm(INT8).multiply(a, b).cycles
-    tub = TubGemm(INT8).multiply(a, b).cycles
-    tu = TuGemm(INT8).multiply(a, b).cycles
+def test_latency_models_and_bounds(spec, data, n):
+    """Engines respect their closed-form latency and worst cases."""
+    a = data.draw(arrays(np.int64, (3, n), elements=_elements(spec)))
+    b = data.draw(arrays(np.int64, (n, 3), elements=_elements(spec)))
+    binary = BinaryGemm(spec).multiply(a, b).cycles
+    tub = TubGemm(spec).multiply(a, b).cycles
+    tu = TuGemm(spec).multiply(a, b).cycles
+    assert binary == n + BinaryGemm.pipeline_latency
+    assert tub == _expected_tub_cycles(b)
+    assert tu == _expected_tu_cycles(a, b)
+    assert tub <= TubGemm(spec).worst_case_cycles(n)
+    assert tu <= TuGemm(spec).worst_case_cycles(n)
     assert binary <= tub + 1  # binary has a pipeline stage
-    assert tub <= tu or tu == n  # tu >= tub except all-(0/1) operands
-    assert tub <= TubGemm(INT8).worst_case_cycles(n)
-    assert tu <= TuGemm(INT8).worst_case_cycles(n)
+    # Per column: a non-zero activation makes the pure-unary step at
+    # least as long as the hybrid step (a*|w| >= ceil(|w|/2)).
+    for j in range(n):
+        if np.abs(a[:, j]).max() >= 1:
+            step_tu = max(
+                1,
+                int(np.abs(a[:, j]).max()) * int(np.abs(b[j]).max()),
+            )
+            step_tub = max(1, (int(np.abs(b[j]).max()) + 1) // 2)
+            assert step_tub <= step_tu
 
 
-@settings(max_examples=30, deadline=None)
-@given(data=st.data(), n=st.integers(min_value=1, max_value=6))
-def test_tub_latency_is_sum_of_step_maxima(data, n):
-    b = data.draw(arrays(np.int64, (n, 3), elements=int8))
-    a = np.ones((2, n), dtype=np.int64)
-    engine = TubGemm(INT8)
-    expected = sum(
-        max(1, (int(np.abs(b[j]).max()) + 1) // 2) for j in range(n)
-    )
-    assert engine.multiply(a, b).cycles == expected
+class TestRandomizedEdgeSweep:
+    """Seeded differential sweep, biased toward signed edge values."""
+
+    ROUNDS = 40
+
+    def _edge_biased(self, fuzz_rng, spec, shape):
+        """Uniform draw, then overwrite ~half the entries with the
+        format's edge values (min, 0, max)."""
+        values = spec.random_array(fuzz_rng, shape)
+        edges = np.array(
+            [spec.min_value, 0, spec.max_value], dtype=np.int64
+        )
+        mask = fuzz_rng.random(shape) < 0.5
+        picks = edges[fuzz_rng.integers(0, edges.size, shape)]
+        return np.where(mask, picks, values)
+
+    def test_tempus_vs_binary_differential(self, fuzz_rng):
+        for _ in range(self.ROUNDS):
+            spec = PRECISIONS[int(fuzz_rng.integers(len(PRECISIONS)))]
+            m, n, p = (int(v) for v in fuzz_rng.integers(1, 7, 3))
+            a = self._edge_biased(fuzz_rng, spec, (m, n))
+            b = self._edge_biased(fuzz_rng, spec, (n, p))
+            context = f"{spec.name} {m}x{n}x{p}\na={a!r}\nb={b!r}"
+            expected = a @ b
+            binary = BinaryGemm(spec).multiply(a, b)
+            tub = TubGemm(spec).multiply(a, b)
+            tu = TuGemm(spec).multiply(a, b)
+            for result in (binary, tub, tu):
+                assert np.array_equal(result.output, expected), context
+                assert result.macs == m * n * p
+                assert result.pe_count == m * p
+            assert binary.cycles == n + 1, context
+            assert tub.cycles == _expected_tub_cycles(b), context
+            assert tu.cycles == _expected_tu_cycles(a, b), context
+
+    def test_all_edge_value_matrices(self):
+        """Exhaustive pairings of constant edge-value operands: the
+        most-negative code, zero, and the most-positive code."""
+        for spec in PRECISIONS:
+            edges = (spec.min_value, 0, spec.max_value)
+            for left in edges:
+                for right in edges:
+                    a = np.full((2, 3), left, dtype=np.int64)
+                    b = np.full((3, 2), right, dtype=np.int64)
+                    expected = a @ b
+                    for engine in (
+                        BinaryGemm(spec),
+                        TuGemm(spec),
+                        TubGemm(spec),
+                    ):
+                        result = engine.multiply(a, b)
+                        assert np.array_equal(
+                            result.output, expected
+                        ), (spec.name, left, right, engine)
+                        assert result.cycles >= 1
+
+    def test_worst_case_reached_at_most_negative(self):
+        """The most negative code has the largest magnitude: an
+        all--2^(w-1) weight matrix drives tub/tu to their worst case."""
+        for spec in PRECISIONS:
+            n = 4
+            a = np.full((2, n), spec.max_value, dtype=np.int64)
+            b = np.full((n, 2), spec.min_value, dtype=np.int64)
+            tub = TubGemm(spec)
+            assert (
+                tub.multiply(a, b).cycles == tub.worst_case_cycles(n)
+            )
+            if spec.max_value >= 1:
+                tu = TuGemm(spec)
+                # tu's worst case needs max-magnitude on both sides,
+                # which +max_value does not reach (|min| = max + 1).
+                assert (
+                    tu.multiply(a, b).cycles
+                    <= tu.worst_case_cycles(n)
+                )
+
+    def test_out_of_range_operands_rejected(self, fuzz_rng):
+        for spec in (INT2, INT4):
+            a = np.full((2, 2), spec.max_value + 1, dtype=np.int64)
+            b = np.zeros((2, 2), dtype=np.int64)
+            for engine in (
+                BinaryGemm(spec),
+                TuGemm(spec),
+                TubGemm(spec),
+            ):
+                with pytest.raises(PrecisionError):
+                    engine.multiply(a, b)

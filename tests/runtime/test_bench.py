@@ -1,4 +1,4 @@
-"""Tests for the network benchmark driver."""
+"""Tests for the network and serving benchmark drivers."""
 
 import json
 
@@ -6,7 +6,13 @@ import pytest
 
 from repro.errors import DataflowError
 from repro.nvdla.config import CoreConfig
-from repro.runtime.bench import render_benchmark, run_network_benchmark
+from repro.runtime.bench import (
+    measure,
+    render_benchmark,
+    render_serving_benchmark,
+    run_network_benchmark,
+    run_serving_benchmark,
+)
 
 
 @pytest.fixture(scope="module")
@@ -63,3 +69,82 @@ class TestNetworkBenchmark:
             out_dir=None,
         )
         assert "artifact" not in result
+
+    def test_wall_clock_recorded_per_engine(self, payload):
+        for record in payload["models"]:
+            for engine in ("tempus", "binary"):
+                stats = record["engines"][engine]
+                assert stats["wall_seconds"] > 0
+                assert stats["host_images_per_second"] > 0
+
+
+class TestMeasure:
+    def test_returns_result_and_best_seconds(self):
+        result, seconds = measure(lambda: 42, repeats=3)
+        assert result == 42
+        assert seconds >= 0
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(DataflowError):
+            measure(lambda: None, repeats=0)
+
+
+@pytest.fixture(scope="module")
+def serving_payload(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("serving")
+    return run_serving_benchmark(
+        models=("resnet18",),
+        worker_counts=(1, 2),
+        requests=4,
+        quick=True,
+        repeats=1,
+        config=CoreConfig(k=4, n=4),
+        max_batch=2,
+        out_dir=out_dir,
+    )
+
+
+class TestServingBenchmark:
+    def test_artifact_written_and_parseable(self, serving_payload):
+        artifact = serving_payload["artifact"]
+        assert artifact.endswith("BENCH_serving.json")
+        data = json.loads(open(artifact).read())
+        assert data["benchmark"] == "sharded_serving"
+        assert data["worker_counts"] == [1, 2]
+
+    def test_every_point_bit_identical_and_timed(self, serving_payload):
+        for record in serving_payload["models"]:
+            assert record["reference_conv_cycles"] > 0
+            assert len(record["workers"]) == 2
+            for sweep in record["workers"]:
+                assert sweep["bit_identical_to_reference"] is True
+                assert sweep["requests_per_second"] > 0
+                assert sweep["wall_seconds"] > 0
+                assert sweep["makespan_cycles"] > 0
+                assert sum(sweep["shard_cycles"]) == sweep["conv_cycles"]
+
+    def test_simulated_throughput_scales_with_workers(
+        self, serving_payload
+    ):
+        """Two balanced shards halve the makespan: the load-bearing
+        scaling claim, deterministic because it is cycle-derived."""
+        for record in serving_payload["models"]:
+            one, two = record["workers"]
+            assert two["makespan_cycles"] < one["makespan_cycles"]
+            assert (
+                two["requests_per_second"] > one["requests_per_second"]
+            )
+            assert record["requests_per_second_monotonic"] is True
+
+    def test_render_mentions_workers(self, serving_payload):
+        text = render_serving_benchmark(serving_payload)
+        assert "resnet18" in text
+        assert "workers" in text and "req/s (sim)" in text
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(DataflowError):
+            run_serving_benchmark(models=("lenet",), out_dir=None)
+        with pytest.raises(DataflowError):
+            run_serving_benchmark(requests=0, out_dir=None)
+        with pytest.raises(DataflowError):
+            run_serving_benchmark(worker_counts=(0,), out_dir=None)

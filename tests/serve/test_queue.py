@@ -1,0 +1,104 @@
+"""Unit tests for the dynamic-batching request queue."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import DataflowError
+from repro.serve import RequestQueue
+
+
+def _image(value):
+    return np.full((1, 2, 2), value, dtype=np.int64)
+
+
+class TestCoalescing:
+    def test_full_batch_ships_immediately(self):
+        queue = RequestQueue(max_batch=3, max_wait=60.0)
+        for value in range(3):
+            queue.submit(_image(value))
+        start = time.monotonic()
+        batch = queue.next_batch()
+        assert time.monotonic() - start < 1.0  # did not sit out max_wait
+        assert [request.seq for request in batch] == [0, 1, 2]
+
+    def test_max_wait_flushes_partial_batch(self):
+        queue = RequestQueue(max_batch=8, max_wait=0.01)
+        queue.submit(_image(7))
+        batch = queue.next_batch()
+        assert len(batch) == 1
+        assert np.array_equal(batch[0].image, _image(7))
+
+    def test_oversubmission_splits_into_batches(self):
+        queue = RequestQueue(max_batch=2, max_wait=0.01)
+        for value in range(5):
+            queue.submit(_image(value))
+        queue.close()
+        sizes = []
+        seqs = []
+        while True:
+            batch = queue.next_batch()
+            if batch is None:
+                break
+            sizes.append(len(batch))
+            seqs.extend(request.seq for request in batch)
+        assert sizes == [2, 2, 1]
+        assert seqs == list(range(5))  # submission order preserved
+
+    def test_sequence_numbers_are_monotonic(self):
+        queue = RequestQueue(max_batch=4, max_wait=0.0)
+        assert [queue.submit(_image(v)) for v in range(4)] == [0, 1, 2, 3]
+
+
+class TestCloseSemantics:
+    def test_closed_empty_queue_returns_none(self):
+        queue = RequestQueue(max_batch=2, max_wait=0.01)
+        queue.close()
+        assert queue.next_batch() is None
+
+    def test_close_drains_pending(self):
+        queue = RequestQueue(max_batch=8, max_wait=60.0)
+        queue.submit(_image(1))
+        queue.close()
+        batch = queue.next_batch()
+        assert len(batch) == 1
+        assert queue.next_batch() is None
+
+    def test_submit_after_close_rejected(self):
+        queue = RequestQueue(max_batch=2, max_wait=0.01)
+        queue.close()
+        with pytest.raises(DataflowError):
+            queue.submit(_image(0))
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = RequestQueue(max_batch=2, max_wait=60.0)
+        seen = []
+
+        def consume():
+            seen.append(queue.next_batch())
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        time.sleep(0.05)
+        queue.close()
+        consumer.join(timeout=5)
+        assert not consumer.is_alive()
+        assert seen == [None]
+
+
+class TestValidation:
+    def test_bad_max_batch_rejected(self):
+        with pytest.raises(DataflowError):
+            RequestQueue(max_batch=0)
+
+    def test_bad_max_wait_rejected(self):
+        with pytest.raises(DataflowError):
+            RequestQueue(max_wait=-1.0)
+
+    def test_len_reports_pending(self):
+        queue = RequestQueue(max_batch=4, max_wait=0.01)
+        assert len(queue) == 0
+        queue.submit(_image(0))
+        assert len(queue) == 1
