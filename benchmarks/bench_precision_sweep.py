@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Precision-profile sweep benchmark (BENCH_precision.json).
+
+Sweeps >= 3 zoo networks over INT8 / INT4 / INT2 / mixed precision
+profiles on *both* convolution engines, verifies outputs bit-identical
+across engines at every point, and writes
+``results/BENCH_precision.json``: per (model, profile) cycles,
+images-per-million-cycles and the tempus:binary cycle ratio — which
+must improve monotonically as precision drops (the paper-family
+scaling claim: worst-case tub burst 64 cycles at INT8, 4 at INT4, 1 at
+INT2, while binary CMAC cycles are precision-independent).  A sharded
+serving run at INT4 is additionally verified bit-identical (outputs
+and cycles) to the single-process ``NetworkRunner.run``.
+
+Run directly::
+
+    python benchmarks/bench_precision_sweep.py           # full preset
+    python benchmarks/bench_precision_sweep.py --quick   # CI-sized
+    python benchmarks/bench_precision_sweep.py --models resnet18 --batch 2
+
+or through pytest (quick preset)::
+
+    pytest benchmarks/bench_precision_sweep.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.runtime.bench import (
+    DEFAULT_PRECISION_MODELS,
+    DEFAULT_PRECISION_SWEEP,
+    render_precision_benchmark,
+    run_precision_benchmark,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run(
+    models=DEFAULT_PRECISION_MODELS,
+    precisions=DEFAULT_PRECISION_SWEEP,
+    batch: int = 4,
+    quick: bool = False,
+    write: bool = True,
+) -> dict:
+    payload = run_precision_benchmark(
+        models=models,
+        precisions=precisions,
+        batch=batch,
+        quick=quick,
+        out_dir=RESULTS_DIR if write else None,
+    )
+    # Contract checks: every point ran both engines bit-identically,
+    # the uniform-precision ratio trend is monotonic for every model,
+    # and the low-precision sharded run matched the single-process
+    # reference exactly.
+    for record in payload["models"]:
+        assert len(record["precisions"]) == len(tuple(precisions))
+        assert record["ratio_improves_monotonically"]
+        for entry in record["precisions"]:
+            assert entry["outputs_bit_identical"]
+            assert entry["tempus_vs_binary_cycle_ratio"] > 0
+    verification = payload.get("sharded_verification")
+    if verification is not None:
+        assert verification["bit_identical_outputs_and_cycles"]
+    return payload
+
+
+def test_precision_sweep_quick():
+    """Tracked invariant: the tempus:binary cycle ratio improves
+    monotonically as precision drops, on >= 3 nets, and sharded
+    serving at INT4 matches single-process inference bit for bit."""
+    payload = run(batch=2, quick=True, write=False)
+    assert len(payload["models"]) >= 3
+    assert payload["sharded_verification"]["precision"] == "int4"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=list(DEFAULT_PRECISION_MODELS),
+        help=f"zoo models (default: {' '.join(DEFAULT_PRECISION_MODELS)})",
+    )
+    parser.add_argument(
+        "--precisions",
+        nargs="+",
+        default=list(DEFAULT_PRECISION_SWEEP),
+        help=(
+            "precision profiles to sweep "
+            f"(default: {' '.join(DEFAULT_PRECISION_SWEEP)})"
+        ),
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=4,
+        help="images per network run (default 4)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized preset"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip the JSON artifact"
+    )
+    args = parser.parse_args()
+    payload = run(
+        models=tuple(args.models),
+        precisions=tuple(args.precisions),
+        batch=args.batch,
+        quick=args.quick,
+        write=not args.no_write,
+    )
+    print(render_precision_benchmark(payload))
+    if "artifact" in payload:
+        print(f"\nwrote {payload['artifact']}")
+    else:
+        print("\n" + json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ Usage::
     python -m repro run all --out results/   # every experiment
     python -m repro serve-bench --quick      # batched network inference
     python -m repro serve-bench --workers 4  # sharded serving sweep
+    python -m repro serve-bench --precision int4 --workers 2
+                                             # low-precision serving
 """
 
 from __future__ import annotations
@@ -74,6 +76,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-schedule",
         action="store_true",
         help="disable burst-aware tile scheduling",
+    )
+    server.add_argument(
+        "--precision",
+        default="int8",
+        metavar="PROFILE",
+        help=(
+            "per-layer precision profile: int8, int4, int2, mixed "
+            "(INT8 first/last, INT4 interior), mixed_int2 "
+            "(default: int8)"
+        ),
     )
     server.add_argument(
         "--workers",
@@ -163,6 +175,7 @@ def _serve_bench(args) -> int:
                 quick=args.quick,
                 scheduling=not args.no_schedule,
                 max_batch=args.max_batch,
+                precision=args.precision,
                 out_dir=args.out,
             )
             rendered = render_serving_benchmark(payload)
@@ -173,6 +186,7 @@ def _serve_bench(args) -> int:
                 batch=args.batch if args.batch is not None else 4,
                 quick=args.quick,
                 scheduling=not args.no_schedule,
+                precision=args.precision,
                 out_dir=args.out,
             )
             rendered = render_benchmark(payload)

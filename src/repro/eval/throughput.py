@@ -73,19 +73,39 @@ def project_improvement(
 def images_per_million_cycles(images: int, cycles: int) -> float:
     """Network-level throughput normalisation used by the batched
     runtime benchmark (``results/BENCH_networks.json``): how many whole
-    images the conv pipeline finishes per million core cycles."""
+    images the conv pipeline finishes per million core cycles.
+
+    Raises:
+        DataflowError: on negative inputs or ``cycles == 0`` — a
+            zero-cycle run is an accounting bug upstream, and clamping
+            it would report arbitrarily inflated throughput.
+    """
     if images < 0 or cycles < 0:
         raise DataflowError("images and cycles must be non-negative")
-    return images * 1e6 / max(cycles, 1)
+    if cycles == 0:
+        raise DataflowError(
+            "cycles must be positive to normalise throughput "
+            "(zero-cycle runs indicate a cycle-accounting bug)"
+        )
+    return images * 1e6 / cycles
 
 
 def requests_per_second(requests: int, seconds: float) -> float:
     """Wall-clock serving throughput used by the sharded runtime
     benchmark (``results/BENCH_serving.json``): completed single-image
-    requests per second of host time."""
+    requests per second of host time.
+
+    Raises:
+        DataflowError: on negative inputs or ``seconds == 0`` — a
+            zero-duration measurement carries no rate information.
+    """
     if requests < 0 or seconds < 0:
         raise DataflowError("requests and seconds must be non-negative")
-    return requests / max(seconds, 1e-12)
+    if seconds == 0:
+        raise DataflowError(
+            "seconds must be positive to compute a request rate"
+        )
+    return requests / seconds
 
 
 @dataclass(frozen=True)

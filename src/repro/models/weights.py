@@ -27,8 +27,9 @@ import numpy as np
 from repro.errors import CalibrationError
 from repro.models.layers import ConvLayerSpec
 from repro.models.zoo import ModelSpec, build_model
+from repro.quant.profile import PrecisionProfile, precision_profile
 from repro.quant.quantize import quantize_per_tensor
-from repro.utils.intrange import INT8, IntSpec, int_spec
+from repro.utils.intrange import INT8, IntSpec
 from repro.utils.rng import make_rng
 
 
@@ -96,6 +97,7 @@ class QuantizedLayer:
     layer: ConvLayerSpec
     codes: np.ndarray  # int16, shape = layer.weight_shape
     scale: float
+    precision: IntSpec = INT8
 
     @property
     def zero_fraction(self) -> float:
@@ -114,11 +116,28 @@ class QuantizedLayer:
 
 @dataclass(frozen=True)
 class QuantizedModel:
-    """A fully synthesized + quantized CNN."""
+    """A fully synthesized + quantized CNN.
+
+    Attributes:
+        name: zoo model name.
+        precision: the widest member format of the profile — what a MAC
+            array executing the whole network must be provisioned for.
+        layers: per-layer codes, each quantized at its own
+            :attr:`QuantizedLayer.precision`.
+        profile: the per-layer precision recipe (defaults to uniform at
+            ``precision``).
+    """
 
     name: str
     precision: IntSpec
     layers: tuple[QuantizedLayer, ...]
+    profile: PrecisionProfile | None = None
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            object.__setattr__(
+                self, "profile", precision_profile(self.precision)
+            )
 
     @property
     def total_weights(self) -> int:
@@ -148,36 +167,47 @@ def quantize_layer(
         layer=layer,
         codes=qt.data.astype(np.int16),
         scale=float(qt.scale),
+        precision=qt.spec,
     )
 
 
 def load_quantized_model(
     name: str,
-    precision: "int | str | IntSpec" = INT8,
+    precision: "int | str | IntSpec | PrecisionProfile" = INT8,
     scale: float = 1.0,
     synthesis: WeightSynthesisSpec | None = None,
 ) -> QuantizedModel:
     """Synthesize and quantize a zoo model.
 
     Deterministic: the RNG stream is keyed on (model, layer index), so the
-    same call always produces the same tensors.
+    same call always produces the same tensors — the *float* weight
+    stream is shared across precisions, so profiles quantize the same
+    underlying network.
 
     Args:
         name: zoo model name.
-        precision: target integer format (Table I uses INT8).
+        precision: target integer format (Table I uses INT8) or a
+            :class:`~repro.quant.profile.PrecisionProfile` / profile
+            name (``"mixed"``) for per-layer formats.
         scale: width multiplier (tests use < 1 for speed).
         synthesis: override the calibrated mixture.
     """
-    spec = int_spec(precision)
+    profile = precision_profile(precision)
     model: ModelSpec = build_model(name, scale=scale)
     mixture = synthesis if synthesis is not None else MODEL_SYNTHESIS.get(
         name, WeightSynthesisSpec()
     )
+    count = len(model.layers)
     quantized = []
     for index, layer in enumerate(model.layers):
         rng = make_rng("weights", name, index)
         floats = synthesize_layer_weights(layer, mixture, rng)
-        quantized.append(quantize_layer(layer, floats, spec))
+        quantized.append(
+            quantize_layer(layer, floats, profile.spec_for(index, count))
+        )
     return QuantizedModel(
-        name=name, precision=spec, layers=tuple(quantized)
+        name=name,
+        precision=profile.widest,
+        layers=tuple(quantized),
+        profile=profile,
     )

@@ -10,6 +10,17 @@ from repro.quant.calibration import (
     calibrate_minmax,
     calibrate_percentile,
 )
+from repro.quant.profile import (
+    MIXED_EDGE,
+    MIXED_INT2,
+    PROFILES,
+    UNIFORM_INT2,
+    UNIFORM_INT4,
+    UNIFORM_INT8,
+    PrecisionProfile,
+    precision_profile,
+    uniform_profile,
+)
 from repro.quant.qtensor import QuantizedTensor
 from repro.quant.quantize import (
     AffineQuantizer,
@@ -23,6 +34,15 @@ __all__ = [
     "CalibrationResult",
     "calibrate_minmax",
     "calibrate_percentile",
+    "MIXED_EDGE",
+    "MIXED_INT2",
+    "PROFILES",
+    "PrecisionProfile",
+    "precision_profile",
+    "uniform_profile",
+    "UNIFORM_INT2",
+    "UNIFORM_INT4",
+    "UNIFORM_INT8",
     "QuantizedTensor",
     "SymmetricQuantizer",
     "AffineQuantizer",

@@ -1,6 +1,6 @@
-"""Network- and serving-level inference benchmarks.
+"""Network-, serving- and precision-level inference benchmarks.
 
-One measurement harness, two drivers:
+One measurement harness, three drivers:
 
 * :func:`run_network_benchmark` — single-process batched inference on
   both convolution engines (``results/BENCH_networks.json``):
@@ -11,13 +11,21 @@ One measurement harness, two drivers:
   runtime (``results/BENCH_serving.json``): requests/sec and
   images-per-Mcycle vs worker count, with every worker count verified
   bit-identical to the single-process reference.
+* :func:`run_precision_benchmark` — the precision sweep
+  (``results/BENCH_precision.json``): every model on both engines at
+  INT8 / INT4 / INT2 / mixed profiles, reproducing the paper-family
+  claim that the tempus:binary cycle ratio improves monotonically as
+  precision drops (binary cycle cost is precision-independent; tub
+  bursts shorten with the weights), plus a sharded-serving
+  bit-identity verification at a low-precision point.
 
-Both drivers time work through :func:`measure` (best-of-``repeats``
-wall clock) and report engine records through :func:`_engine_record`,
-so single- and multi-worker numbers are directly comparable.  Shared by
-``python -m repro serve-bench [--workers N]``,
-``benchmarks/bench_network_inference.py`` and
-``benchmarks/bench_serving.py``.
+All drivers accept a ``precision`` profile, time work through
+:func:`measure` (best-of-``repeats`` wall clock) and report engine
+records through :func:`_engine_record`, so single-worker,
+multi-worker and cross-precision numbers are directly comparable.
+Shared by ``python -m repro serve-bench [--workers N] [--precision P]``
+and the ``benchmarks/bench_network_inference.py`` /
+``bench_serving.py`` / ``bench_precision_sweep.py`` scripts.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.eval.throughput import images_per_million_cycles, \
     requests_per_second
 from repro.models.zoo import MODEL_NAMES
 from repro.nvdla.config import CoreConfig
+from repro.quant.profile import precision_profile
 from repro.runtime.runner import NetworkRunner
 
 #: Default benchmark workload: the two Table-I models with the most
@@ -98,6 +107,7 @@ def run_network_benchmark(
     quick: bool = False,
     scheduling: bool = True,
     config: CoreConfig | None = None,
+    precision="int8",
     out_dir: "str | Path | None" = "results",
 ) -> dict:
     """Benchmark batched network inference on both engines.
@@ -109,6 +119,8 @@ def run_network_benchmark(
         quick: smaller width/resolution preset for smoke runs.
         scheduling: apply burst-aware tile scheduling.
         config: array geometry (defaults to 16x16 INT8).
+        precision: per-layer precision profile (name, IntSpec or
+            :class:`~repro.quant.profile.PrecisionProfile`).
         out_dir: where BENCH_networks.json is written (None = don't).
 
     Returns:
@@ -118,6 +130,7 @@ def run_network_benchmark(
     if batch < 1:
         raise DataflowError("batch must be >= 1")
     config = config if config is not None else CoreConfig()
+    profile = precision_profile(precision)
     scale, input_size = QUICK_PRESET if quick else FULL_PRESET
 
     runners = {
@@ -127,6 +140,7 @@ def run_network_benchmark(
             scheduling=scheduling,
             scale=scale,
             input_size=input_size,
+            precision=profile,
         )
         for engine in ("binary", "tempus")
     }
@@ -136,6 +150,7 @@ def run_network_benchmark(
         scheduling=False,
         scale=scale,
         input_size=input_size,
+        precision=profile,
     )
 
     model_records = []
@@ -188,6 +203,7 @@ def run_network_benchmark(
         model_records.append(record)
 
     cache = burst_map_cache_stats()
+    config = runners["tempus"].config  # profile may widen the geometry
     payload = {
         "benchmark": "network_inference",
         "config": {
@@ -195,6 +211,8 @@ def run_network_benchmark(
             "n": config.n,
             "precision": config.precision.name,
         },
+        "precision_profile": profile.name,
+        "precision_layers": profile.describe(),
         "quick": bool(quick),
         "scheduling": bool(scheduling),
         "scale": scale,
@@ -241,6 +259,7 @@ def run_serving_benchmark(
     max_batch: int = 8,
     max_wait: float = 0.002,
     repeats: int = 3,
+    precision="int8",
     out_dir: "str | Path | None" = "results",
 ) -> dict:
     """Benchmark the sharded serving runtime across worker counts.
@@ -272,6 +291,7 @@ def run_serving_benchmark(
         engine: "tempus" or "binary".
         max_batch / max_wait: dynamic-batching knobs.
         repeats: best-of-N wall-clock repeats per worker count.
+        precision: per-layer precision profile served.
         out_dir: where BENCH_serving.json is written (None = don't).
 
     Returns:
@@ -290,6 +310,7 @@ def run_serving_benchmark(
         sorted(dict.fromkeys(int(count) for count in worker_counts))
     )
     config = config if config is not None else CoreConfig()
+    profile = precision_profile(precision)
     scale, input_size = QUICK_PRESET if quick else FULL_PRESET
 
     reference_runner = NetworkRunner(
@@ -298,7 +319,9 @@ def run_serving_benchmark(
         scheduling=scheduling,
         scale=scale,
         input_size=input_size,
+        precision=profile,
     )
+    config = reference_runner.config  # profile may widen the geometry
 
     model_records = []
     for name in models:
@@ -314,6 +337,7 @@ def run_serving_benchmark(
                 input_size=input_size,
                 max_batch=max_batch,
                 max_wait=max_wait,
+                precision=profile,
             ) as server:
                 server.start(name)
                 server.run(name, requests)  # warm up pool + caches
@@ -372,6 +396,8 @@ def run_serving_benchmark(
             "n": config.n,
             "precision": config.precision.name,
         },
+        "precision_profile": profile.name,
+        "precision_layers": profile.describe(),
         "quick": bool(quick),
         "scheduling": bool(scheduling),
         "scale": scale,
@@ -428,11 +454,258 @@ def render_serving_benchmark(payload: dict) -> str:
         rows,
         title=(
             f"sharded serving ({payload['engine']}) on "
-            f"{config['k']}x{config['n']} {config['precision']} "
+            f"{config['k']}x{config['n']} "
+            f"{payload.get('precision_layers', config['precision'])} "
             f"(scale {payload['scale']}, input {payload['input_size']}, "
             f"max_batch {payload['max_batch']})"
         ),
     )
+
+
+#: Precision-sweep defaults: three structurally dissimilar nets, the
+#: three uniform paper precisions plus the standard mixed edge recipe.
+DEFAULT_PRECISION_MODELS = DEFAULT_SERVING_MODELS
+DEFAULT_PRECISION_SWEEP = ("int8", "int4", "int2", "mixed")
+
+
+def run_precision_benchmark(
+    models: "tuple[str, ...] | list[str]" = DEFAULT_PRECISION_MODELS,
+    precisions: "tuple | list" = DEFAULT_PRECISION_SWEEP,
+    batch: int = 4,
+    quick: bool = False,
+    scheduling: bool = True,
+    config: CoreConfig | None = None,
+    verify_sharded: "str | None" = "int4",
+    sharded_workers: int = 2,
+    out_dir: "str | Path | None" = "results",
+) -> dict:
+    """Sweep precision profiles on both engines — the paper's scaling
+    axis (``results/BENCH_precision.json``).
+
+    For every (model, profile) point both engines run the same batch;
+    outputs are verified bit-identical across engines before the
+    tempus:binary cycle ratio is recorded.  The binary CMAC's cycle
+    cost is precision-independent (one atom per cycle regardless of
+    operand width), while a tub burst lasts as long as its tile's
+    largest magnitude — so the ratio must *improve monotonically* as
+    precision drops (worst-case burst: 64 cycles at INT8, 4 at INT4,
+    1 at INT2).  The per-model ``ratio_improves_monotonically`` flag
+    pins that claim over the uniform profiles in the sweep.
+
+    Args:
+        models: zoo model names (the artifact contract wants >= 3).
+        precisions: profile names/specs to sweep (uniform profiles are
+            compared for monotonicity in descending width order; mixed
+            profiles are recorded alongside).
+        batch: images per network run (>= 1).
+        quick: smaller width/resolution preset for smoke runs.
+        scheduling: apply burst-aware tile scheduling when lowering.
+        config: array geometry (k/n; each profile provisions its own
+            precision).
+        verify_sharded: profile at which sharded serving is verified
+            bit-identical (outputs *and* cycles) to the single-process
+            ``NetworkRunner.run`` — None skips the check.
+        sharded_workers: worker count for that verification.
+        out_dir: where BENCH_precision.json is written (None = don't).
+
+    Returns:
+        the record written to the artifact.
+    """
+    from repro.serve import ShardedRunner
+
+    _check_models(models)
+    if batch < 1:
+        raise DataflowError("batch must be >= 1")
+    config = config if config is not None else CoreConfig()
+    profiles = [precision_profile(entry) for entry in precisions]
+    if len({profile.name for profile in profiles}) != len(profiles):
+        raise DataflowError("duplicate precision profiles in sweep")
+    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
+
+    runners = {
+        (profile.name, engine): NetworkRunner(
+            config,
+            engine=engine,
+            scheduling=scheduling,
+            scale=scale,
+            input_size=input_size,
+            precision=profile,
+        )
+        for profile in profiles
+        for engine in ("binary", "tempus")
+    }
+
+    model_records = []
+    for name in models:
+        sweep = []
+        for profile in profiles:
+            tempus_runner = runners[(profile.name, "tempus")]
+            binary_runner = runners[(profile.name, "binary")]
+            tempus_runner.run(name, 1)  # warm compile + burst maps
+            binary_runner.run(name, 1)
+            tempus, tempus_seconds = measure(
+                lambda: tempus_runner.run(name, batch)
+            )
+            binary, binary_seconds = measure(
+                lambda: binary_runner.run(name, batch)
+            )
+            if not np.array_equal(tempus.output, binary.output):
+                raise DataflowError(
+                    f"{name} @ {profile.name}: engines diverged — "
+                    "dataflow compliance violated"
+                )
+            sweep.append(
+                {
+                    "precision": profile.name,
+                    "layers": profile.describe(),
+                    "uniform": profile.is_uniform,
+                    "widest_width": profile.widest.width,
+                    "worst_case_burst_cycles": (
+                        profile.widest.worst_case_tub_cycles
+                    ),
+                    "outputs_bit_identical": True,
+                    "engines": {
+                        "tempus": _engine_record(tempus, tempus_seconds),
+                        "binary": _engine_record(binary, binary_seconds),
+                    },
+                    "tempus_vs_binary_cycle_ratio": float(
+                        tempus.conv_cycles / max(binary.conv_cycles, 1)
+                    ),
+                }
+            )
+        # The claim reads over uniform profiles, widest format first:
+        # dropping precision must never make the ratio worse.
+        uniform = sorted(
+            (entry for entry in sweep if entry["uniform"]),
+            key=lambda entry: -entry["widest_width"],
+        )
+        model_records.append(
+            {
+                "model": name,
+                "batch": int(batch),
+                "precisions": sweep,
+                "ratio_improves_monotonically": all(
+                    later["tempus_vs_binary_cycle_ratio"]
+                    < earlier["tempus_vs_binary_cycle_ratio"]
+                    for earlier, later in zip(uniform, uniform[1:])
+                ),
+            }
+        )
+
+    payload = {
+        "benchmark": "precision_sweep",
+        "config": {"k": config.k, "n": config.n},
+        "quick": bool(quick),
+        "scheduling": bool(scheduling),
+        "scale": scale,
+        "input_size": input_size,
+        "precisions": [profile.name for profile in profiles],
+        "models": model_records,
+    }
+
+    if verify_sharded is not None:
+        profile = precision_profile(verify_sharded)
+        verify_model = models[0]
+        # The verification profile need not be part of the sweep.
+        reference_runner = runners.get((profile.name, "tempus"))
+        if reference_runner is None:
+            reference_runner = NetworkRunner(
+                config,
+                engine="tempus",
+                scheduling=scheduling,
+                scale=scale,
+                input_size=input_size,
+                precision=profile,
+            )
+        reference = reference_runner.run(verify_model, batch)
+        with ShardedRunner(
+            workers=sharded_workers,
+            config=config,
+            engine="tempus",
+            scheduling=scheduling,
+            scale=scale,
+            input_size=input_size,
+            precision=profile,
+        ) as server:
+            sharded = server.run(verify_model, batch)
+        identical = bool(
+            np.array_equal(sharded.output, reference.output)
+            and sharded.conv_cycles == reference.conv_cycles
+        )
+        if not identical:
+            raise DataflowError(
+                f"sharded serving @ {profile.name} diverged from the "
+                "single-process reference"
+            )
+        payload["sharded_verification"] = {
+            "model": verify_model,
+            "precision": profile.name,
+            "workers": int(sharded_workers),
+            "requests": int(batch),
+            "bit_identical_outputs_and_cycles": identical,
+        }
+
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        artifact = out_path / "BENCH_precision.json"
+        artifact.write_text(json.dumps(payload, indent=2) + "\n")
+        payload["artifact"] = str(artifact)
+    return payload
+
+
+def render_precision_benchmark(payload: dict) -> str:
+    """Human-readable summary of a precision-sweep payload."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for record in payload["models"]:
+        for entry in record["precisions"]:
+            tempus = entry["engines"]["tempus"]
+            binary = entry["engines"]["binary"]
+            rows.append(
+                (
+                    record["model"],
+                    entry["layers"],
+                    f"{tempus['conv_cycles']:,}",
+                    f"{binary['conv_cycles']:,}",
+                    f"{entry['tempus_vs_binary_cycle_ratio']:.3f}",
+                    f"{tempus['images_per_million_cycles']:.3f}",
+                    "yes"
+                    if record["ratio_improves_monotonically"]
+                    else "NO",
+                )
+            )
+    config = payload["config"]
+    lines = [
+        format_table(
+            [
+                "model",
+                "precision",
+                "tempus cycles",
+                "binary cycles",
+                "tempus:binary",
+                "img/Mcycle (tempus)",
+                "monotonic",
+            ],
+            rows,
+            title=(
+                f"precision sweep on {config['k']}x{config['n']} "
+                f"(scale {payload['scale']}, "
+                f"input {payload['input_size']})"
+            ),
+        )
+    ]
+    verification = payload.get("sharded_verification")
+    if verification is not None:
+        lines.append(
+            f"sharded serving @ {verification['precision']} "
+            f"({verification['workers']} workers, "
+            f"{verification['model']}): bit-identical to "
+            f"single-process run = "
+            f"{'yes' if verification['bit_identical_outputs_and_cycles'] else 'NO'}"
+        )
+    return "\n\n".join(lines)
 
 
 def render_benchmark(payload: dict) -> str:
@@ -468,7 +741,7 @@ def render_benchmark(payload: dict) -> str:
         rows,
         title=(
             f"batched network inference on {config['k']}x{config['n']} "
-            f"{config['precision']} "
+            f"{payload.get('precision_layers', config['precision'])} "
             f"(scale {payload['scale']}, input {payload['input_size']})"
         ),
     )

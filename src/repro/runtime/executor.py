@@ -197,8 +197,10 @@ class BatchExecutor:
     ) -> int:
         """Analytic per-image cycles of one layer group — identical to
         the formula the cores' ``fast`` mode uses (and therefore to the
-        burst/tick simulations, by the equivalence tests)."""
-        config = self.net.config
+        burst/tick simulations, by the equivalence tests).  Uses the
+        *stage* configuration, so each stage is accounted at its own
+        precision under mixed profiles."""
+        config = stage.config
         layer = stage.layer
         if self.engine == "binary":
             atoms = stage_atoms(stage, config) // layer.groups

@@ -16,8 +16,8 @@ the NVDLA pipeline:
   produce the *optimized* burst maps;
 * **SDP** — a deterministic per-layer requantization (multiplier/shift
   derived from the layer's mean kernel L1 mass, per-kernel bias, ReLU
-  on every hidden layer) that keeps activations in the core's integer
-  format, as a calibrated deployment would;
+  on every hidden layer) that produces activations in the *next*
+  stage's integer format, as a calibrated deployment would;
 * **PDP** — max-pool stages inserted at the spatial-reduction seams the
   zoo builders recorded with ``net.pool(...)`` (a layer whose declared
   input is at most half its predecessor's output);
@@ -27,6 +27,17 @@ the NVDLA pipeline:
   and corner crop/zero-pad bridge those seams; both are deterministic
   functions of the declared shapes, so the batched and per-image paths
   stay bit-identical.
+
+Per-layer precision: the quantized model carries a
+:class:`~repro.quant.profile.PrecisionProfile`, and every stage is
+lowered at its *own* format — a per-stage :class:`CoreConfig`
+(geometry shared, precision per stage), weights quantized at the stage
+format, SDP requant targeting the next stage's activation format, and
+a final-stage psum format derived from the last stage's precision
+(3x its width: product bits plus accumulation headroom — the 24-bit
+convention at INT8).  Tempus burst latency follows the weights, so
+low-precision stages automatically run in shorter bursts while the
+binary CMAC's cycle cost stays fixed — the paper's scaling claim.
 
 Spatial rescaling (``input_size=``) shrinks every layer's declared
 resolution by a common factor so full topologies stay cheap to execute
@@ -50,9 +61,17 @@ from repro.models.weights import QuantizedModel
 from repro.nvdla.config import CoreConfig
 from repro.nvdla.pdp import PdpConfig
 from repro.nvdla.sdp import SdpConfig, requant_params_from_scale
+from repro.quant.profile import PrecisionProfile
 from repro.unary.encoding import TwosUnaryCode, UnaryCode
 from repro.utils.intrange import IntSpec, int_spec
 from repro.utils.rng import make_rng
+
+
+def final_psum_spec(precision: IntSpec) -> IntSpec:
+    """Partial-sum format the final stage's logits keep: 3x the operand
+    width (2w product bits plus w bits of accumulation headroom) — the
+    standard 24-bit psum convention at INT8, scaled with the format."""
+    return int_spec(3 * precision.width)
 
 
 @dataclass(frozen=True)
@@ -66,11 +85,16 @@ class StagePlan:
         schedules: per-group :class:`TileSchedule` (None = identity).
         kernel_restores: per-group inverse kernel permutations (None =
             identity), precomputed so runs don't argsort per image.
-        sdp: the layer's requantization pass.
+        sdp: the layer's requantization pass (produces the next
+            stage's activation format).
         fit_channels: channel count the input is tiled/sliced to.
         pool: optional PDP stage bridging a spatial-reduction seam.
         fit_hw: (H, W) the input is cropped/zero-padded to after the
             optional pool.
+        precision: the stage's operand format (activations and
+            weights) under the network's precision profile.
+        config: the stage's core configuration — the network geometry
+            at the stage's precision.
     """
 
     name: str
@@ -82,6 +106,8 @@ class StagePlan:
     fit_channels: int
     pool: PdpConfig | None
     fit_hw: tuple
+    precision: IntSpec
+    config: CoreConfig
 
     @property
     def groups(self) -> int:
@@ -94,12 +120,18 @@ class CompiledNetwork:
 
     Attributes:
         name: zoo model name.
-        config: MAC-array geometry/precision it was lowered for.
-        precision: activation/weight integer format.
+        config: the provisioned MAC-array geometry — its precision is
+            the profile's widest member; each stage narrows it via
+            :attr:`StagePlan.config`.
+        precision: the *network input* activation format (the first
+            stage's precision).
         code: unary code used for burst-latency accounting.
-        stages: ordered conv stages (adapters embedded).
+        stages: ordered conv stages (adapters embedded), each at its
+            own precision.
         input_shape: (C, H, W) the first layer consumes.
         scheduling: whether tile scheduling was applied.
+        profile: the per-layer precision recipe the network was
+            lowered under.
     """
 
     name: str
@@ -109,6 +141,7 @@ class CompiledNetwork:
     stages: tuple
     input_shape: tuple
     scheduling: bool
+    profile: PrecisionProfile
 
     @property
     def output_shape(self) -> tuple:
@@ -140,9 +173,9 @@ def _layer_sdp(
     layer: ConvLayerSpec,
     codes: np.ndarray,
     precision: IntSpec,
+    next_precision: IntSpec | None,
     model_name: str,
     index: int,
-    final: bool,
 ) -> SdpConfig:
     """Deterministic requantization for one layer.
 
@@ -150,8 +183,12 @@ def _layer_sdp(
     format: with post-ReLU activations averaging about half the code
     range, a kernel's partial sum scales with its L1 weight mass, so
     ``2 / mean(sum |w|)`` recentres the output distribution on the
-    format's range.  The final stage keeps full psum resolution in a
-    wide format (standard practice for logits).
+    format's range.  Hidden stages requantize into the *next* stage's
+    activation format (``next_precision``); the final stage
+    (``next_precision=None``) keeps full psum resolution in the wide
+    format its own precision implies (standard practice for logits).
+    The bias range is likewise derived from the format the stage
+    produces into, not assumed INT8.
     """
     magnitudes = np.abs(codes.astype(np.int64))
     kernel_l1 = magnitudes.sum(axis=(1, 2, 3)).astype(np.float64)
@@ -160,19 +197,20 @@ def _layer_sdp(
         2.0 / max(2.0, mean_l1)
     )
     bias_rng = make_rng("runtime", model_name, "bias", index)
-    half = max(1, precision.max_magnitude // 2)
+    bias_spec = precision if next_precision is None else next_precision
+    half = max(1, bias_spec.max_magnitude // 2)
     bias = bias_rng.integers(
         -half, half + 1, layer.out_channels
     ).astype(np.int64)
-    if final:
+    if next_precision is None:
         return SdpConfig(
-            out_precision=int_spec(24),
+            out_precision=final_psum_spec(precision),
             bias=bias,
             multiplier=multiplier,
             shift=shift,
         )
     return SdpConfig(
-        out_precision=precision,
+        out_precision=next_precision,
         bias=bias,
         multiplier=multiplier,
         shift=shift,
@@ -230,9 +268,11 @@ def lower_model(
 
     Args:
         model: output of :func:`repro.models.weights.load_quantized_model`
-            (its precision must match ``config.precision``).
+            (``config.precision`` must match the widest member of its
+            precision profile — the format the array is provisioned
+            for; each stage then runs at its own profile precision).
         config: MAC-array geometry (defaults to 16x16 at the model's
-            precision).
+            provisioned precision).
         input_size: optionally rescale the network's declared input
             resolution (e.g. 32 runs a 224x224 topology at 32x32).
         scheduling: apply burst-aware tile scheduling per layer/group.
@@ -249,7 +289,8 @@ def lower_model(
     if config.precision.width != model.precision.width:
         raise DataflowError(
             f"config precision {config.precision.name} != model "
-            f"precision {model.precision.name}"
+            f"provisioned precision {model.precision.name} "
+            f"(profile {model.profile.describe()})"
         )
 
     native = model.layers[0].layer.in_height
@@ -265,16 +306,24 @@ def lower_model(
     last_index = len(model.layers) - 1
     for index, quantized in enumerate(model.layers):
         layer = _rescale_layer(quantized.layer, factor)
+        stage_precision = quantized.precision
+        stage_config = (
+            config
+            if stage_precision.width == config.precision.width
+            else config.with_precision(stage_precision)
+        )
         weights, schedules, restores = _group_plans(
-            quantized.codes64, layer, config, code, scheduling
+            quantized.codes64, layer, stage_config, code, scheduling
         )
         sdp = _layer_sdp(
             layer,
             quantized.codes,
-            model.precision,
+            stage_precision,
+            None
+            if index == last_index
+            else model.layers[index + 1].precision,
             model.name,
             index,
-            final=index == last_index,
         )
 
         pool: PdpConfig | None = None
@@ -295,6 +344,8 @@ def lower_model(
                 fit_channels=layer.in_channels,
                 pool=pool,
                 fit_hw=(layer.in_height, layer.in_width),
+                precision=stage_precision,
+                config=stage_config,
             )
         )
         previous = (
@@ -307,11 +358,12 @@ def lower_model(
     return CompiledNetwork(
         name=model.name,
         config=config,
-        precision=model.precision,
+        precision=stages[0].precision,
         code=code,
         stages=tuple(stages),
         input_shape=(first.in_channels, first.in_height, first.in_width),
         scheduling=scheduling,
+        profile=model.profile,
     )
 
 

@@ -40,6 +40,7 @@ from repro.nvdla.config import CoreConfig
 from repro.nvdla.pdp import Pdp
 from repro.nvdla.pipeline import StageResult
 from repro.nvdla.sdp import Sdp
+from repro.quant.profile import precision_profile
 from repro.runtime.executor import BatchExecutor, _ENGINES, \
     fit_channels, fit_spatial
 from repro.runtime.lowering import CompiledNetwork, StagePlan, \
@@ -101,6 +102,7 @@ class NetworkRunner:
         scale: float = 1.0,
         input_size: int | None = None,
         code: UnaryCode | None = None,
+        precision=None,
     ) -> None:
         """Args:
         config: MAC-array geometry/precision (defaults to 16x16 INT8).
@@ -109,10 +111,23 @@ class NetworkRunner:
         scale: zoo width multiplier in (0, 1].
         input_size: rescaled input resolution (None = native).
         code: unary code for tempus latency (default 2s-unary).
+        precision: a :class:`~repro.quant.profile.PrecisionProfile`,
+            profile name ("int8"/"int4"/"int2"/"mixed"/...) or uniform
+            format.  Defaults to uniform at ``config.precision``.
+            When a profile is given, the array geometry is provisioned
+            at the profile's widest member (``config`` supplies k/n).
         """
         if engine not in _ENGINES:
             raise DataflowError(f"unknown engine {engine!r}")
         self.config = config if config is not None else CoreConfig()
+        if precision is None:
+            self.profile = precision_profile(self.config.precision)
+        else:
+            self.profile = precision_profile(precision)
+            if self.profile.widest.width != self.config.precision.width:
+                self.config = self.config.with_precision(
+                    self.profile.widest
+                )
         self.engine = engine
         self.scheduling = scheduling
         self.scale = scale
@@ -127,7 +142,7 @@ class NetworkRunner:
         if model_name not in self._compiled:
             quantized = load_quantized_model(
                 model_name,
-                precision=self.config.precision,
+                precision=self.profile,
                 scale=self.scale,
             )
             self._compiled[model_name] = lower_model(
@@ -208,7 +223,7 @@ class NetworkRunner:
         """
         net = self.compile(model_name)
         images = self._as_batch(net, model_name, batch)
-        core = self._make_core(net, mode)
+        cores = self._stage_cores(net, mode)
         before = burst_map_cache_stats()
         outputs = []
         first_records: list[StageResult] = []
@@ -220,7 +235,7 @@ class NetworkRunner:
             for stage in net.stages:
                 current = self._fit_single(stage, current, image_records)
                 current, cycles = self._conv_single(
-                    stage, current, core
+                    stage, current, cores[stage.precision.width]
                 )
                 total_cycles += cycles
                 image_records.append(
@@ -265,14 +280,27 @@ class NetworkRunner:
         )
 
     # ------------------------------------------------------------------
-    def _make_core(self, net: CompiledNetwork, mode: str):
+    def _make_core(self, config: CoreConfig, code, mode: str):
         if self.engine == "tempus":
             from repro.core.tempus_core import TempusCore
 
-            return TempusCore(net.config, mode=mode, code=net.code)
+            return TempusCore(config, mode=mode, code=code)
         from repro.nvdla.conv_core import ConvolutionCore
 
-        return ConvolutionCore(net.config, mode=mode)
+        return ConvolutionCore(config, mode=mode)
+
+    def _stage_cores(self, net: CompiledNetwork, mode: str) -> dict:
+        """One real conv core per distinct stage precision — mixed
+        profiles run every stage through a core configured at that
+        stage's format."""
+        cores: dict = {}
+        for stage in net.stages:
+            width = stage.precision.width
+            if width not in cores:
+                cores[width] = self._make_core(
+                    stage.config, net.code, mode
+                )
+        return cores
 
     def _as_batch(
         self,

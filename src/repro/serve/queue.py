@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,10 +30,16 @@ class Request:
     Attributes:
         seq: submission-order sequence number (0-based).
         image: the (C, H, W) integer image.
+        arrived: ``time.monotonic()`` timestamp stamped at
+            :meth:`RequestQueue.submit` — the ``max_wait`` coalescing
+            deadline is anchored here, so a request's batching latency
+            is bounded by its *arrival*, not by when a (possibly busy)
+            dispatcher first observes it.
     """
 
     seq: int
     image: np.ndarray
+    arrived: float = field(default_factory=time.monotonic)
 
 
 class RequestQueue:
@@ -85,14 +91,16 @@ class RequestQueue:
         Returns up to ``max_batch`` requests in submission order, or
         ``None`` once the queue is closed and drained.  The batch ships
         as soon as it is full, the queue closes, or ``max_wait`` seconds
-        pass after its first request was seen.
+        pass after its first request *arrived* (the ``submit()``
+        timestamp) — a dispatcher that was busy elsewhere cannot extend
+        a request's coalescing window beyond the contract.
         """
         with self._ready:
             while not self._pending and not self._closed:
                 self._ready.wait()
             if not self._pending:
                 return None  # closed and fully drained
-            deadline = time.monotonic() + self.max_wait
+            deadline = self._pending[0].arrived + self.max_wait
             while (
                 len(self._pending) < self.max_batch
                 and not self._closed

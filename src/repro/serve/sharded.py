@@ -116,6 +116,7 @@ class ShardedRunner:
         max_batch: int = 8,
         max_wait: float = 0.002,
         start_method: "str | None" = None,
+        precision=None,
     ) -> None:
         if workers < 1:
             raise DataflowError("workers must be >= 1")
@@ -129,6 +130,7 @@ class ShardedRunner:
             scale=scale,
             input_size=input_size,
             code=code,
+            precision=precision,
         )
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
@@ -149,6 +151,11 @@ class ShardedRunner:
     @property
     def engine(self) -> str:
         return self._runner.engine
+
+    @property
+    def profile(self):
+        """The resolved per-layer precision profile served."""
+        return self._runner.profile
 
     def compile(self, model_name: str) -> CompiledNetwork:
         """Lower (and cache) one zoo model in the parent process."""

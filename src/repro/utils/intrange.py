@@ -88,8 +88,26 @@ class IntSpec:
         validation runs on every ``run_layer`` call, and preserving the
         tensor's identity keeps the storage-keyed burst-map cache warm
         across the cores and the batched runtime.
+
+        Only integer dtypes and *exact-integer* floats validate; a
+        float carrying a fractional value (e.g. an accidentally
+        dequantized ``2.7``) raises instead of silently truncating,
+        and non-numeric dtypes (bool, complex, ...) are rejected.
         """
         arr = np.asarray(values)
+        if not np.issubdtype(arr.dtype, np.integer):
+            if not np.issubdtype(arr.dtype, np.floating):
+                raise PrecisionError(
+                    f"{self.name} expects an integer array, got dtype "
+                    f"{arr.dtype}"
+                )
+            # NaN fails the exactness comparison; +-inf passes it and
+            # is caught by the range check below.
+            if arr.size and not bool(np.all(arr == np.trunc(arr))):
+                raise PrecisionError(
+                    f"array contains non-integer values; refusing to "
+                    f"truncate to {self.name}"
+                )
         if arr.size and (
             arr.min() < self.min_value or arr.max() > self.max_value
         ):

@@ -97,6 +97,46 @@ class TestServeBench:
         ) == 2
         assert "batch" in capsys.readouterr().err
 
+    def test_precision_profile_flag(self, capsys, tmp_path):
+        """--precision lowers and serves the requested profile; the
+        artifact records it."""
+        code = main(
+            [
+                "serve-bench",
+                "--quick",
+                "--models",
+                "resnet18",
+                "--batch",
+                "1",
+                "--precision",
+                "int4",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "INT4" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(
+            (tmp_path / "BENCH_networks.json").read_text()
+        )
+        assert payload["precision_profile"] == "int4"
+        assert payload["config"]["precision"] == "INT4"
+
+    def test_unknown_precision_fails_cleanly(self, capsys, tmp_path):
+        assert main(
+            [
+                "serve-bench",
+                "--precision",
+                "fp16",
+                "--out",
+                str(tmp_path),
+            ]
+        ) == 2
+        assert "precision" in capsys.readouterr().err.lower()
+        assert not (tmp_path / "BENCH_networks.json").exists()
+
 
 class TestServeBenchWorkers:
     def test_workers_sweep_writes_serving_artifact(

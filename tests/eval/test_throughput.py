@@ -22,14 +22,30 @@ class TestServingRates:
     def test_requests_per_second(self):
         assert requests_per_second(32, 0.5) == pytest.approx(64.0)
 
-    def test_zero_seconds_does_not_divide_by_zero(self):
-        assert requests_per_second(32, 0.0) > 0
+    def test_zero_seconds_raises(self):
+        """A zero-duration measurement has no rate — it must raise,
+        not report a clamped pseudo-rate."""
+        with pytest.raises(DataflowError):
+            requests_per_second(32, 0.0)
+
+    def test_zero_cycles_raises(self):
+        """images_per_million_cycles(5, 0) used to report 5e6
+        images/Mcycle; zero denominators are accounting bugs."""
+        with pytest.raises(DataflowError):
+            images_per_million_cycles(5, 0)
+
+    def test_zero_images_over_positive_cycles_is_zero(self):
+        assert images_per_million_cycles(0, 100) == 0.0
 
     def test_negative_inputs_rejected(self):
         with pytest.raises(DataflowError):
             requests_per_second(-1, 1.0)
         with pytest.raises(DataflowError):
             requests_per_second(1, -1.0)
+        with pytest.raises(DataflowError):
+            images_per_million_cycles(-1, 1)
+        with pytest.raises(DataflowError):
+            images_per_million_cycles(1, -1)
 
 
 class TestIsoArea:

@@ -9,8 +9,10 @@ from repro.nvdla.config import CoreConfig
 from repro.runtime.bench import (
     measure,
     render_benchmark,
+    render_precision_benchmark,
     render_serving_benchmark,
     run_network_benchmark,
+    run_precision_benchmark,
     run_serving_benchmark,
 )
 
@@ -76,6 +78,132 @@ class TestNetworkBenchmark:
                 stats = record["engines"][engine]
                 assert stats["wall_seconds"] > 0
                 assert stats["host_images_per_second"] > 0
+
+
+@pytest.fixture(scope="module")
+def precision_payload(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("precision")
+    return run_precision_benchmark(
+        models=("resnet18", "shufflenet_v2"),
+        precisions=("int8", "int4", "int2", "mixed"),
+        batch=2,
+        quick=True,
+        config=CoreConfig(k=4, n=4),
+        out_dir=out_dir,
+    )
+
+
+class TestPrecisionBenchmark:
+    def test_artifact_written_and_parseable(self, precision_payload):
+        artifact = precision_payload["artifact"]
+        assert artifact.endswith("BENCH_precision.json")
+        data = json.loads(open(artifact).read())
+        assert data["benchmark"] == "precision_sweep"
+        assert data["precisions"] == ["int8", "int4", "int2", "mixed"]
+
+    def test_every_point_bit_identical(self, precision_payload):
+        for record in precision_payload["models"]:
+            assert len(record["precisions"]) == 4
+            for entry in record["precisions"]:
+                assert entry["outputs_bit_identical"] is True
+                for engine in ("tempus", "binary"):
+                    assert (
+                        entry["engines"][engine]["conv_cycles"] > 0
+                    )
+
+    def test_ratio_improves_monotonically(self, precision_payload):
+        """The load-bearing paper-family claim: the tempus:binary
+        cycle ratio improves as precision drops, on every model."""
+        for record in precision_payload["models"]:
+            assert record["ratio_improves_monotonically"] is True
+            by_name = {
+                entry["precision"]: entry
+                for entry in record["precisions"]
+            }
+            assert (
+                by_name["int8"]["tempus_vs_binary_cycle_ratio"]
+                > by_name["int4"]["tempus_vs_binary_cycle_ratio"]
+                > by_name["int2"]["tempus_vs_binary_cycle_ratio"]
+            )
+
+    def test_binary_cycles_precision_independent(
+        self, precision_payload
+    ):
+        for record in precision_payload["models"]:
+            uniform = [
+                entry["engines"]["binary"]["conv_cycles"]
+                for entry in record["precisions"]
+            ]
+            assert len(set(uniform)) == 1
+
+    def test_sharded_verification_recorded(self, precision_payload):
+        verification = precision_payload["sharded_verification"]
+        assert verification["precision"] == "int4"
+        assert verification["bit_identical_outputs_and_cycles"] is True
+
+    def test_render_mentions_profiles(self, precision_payload):
+        text = render_precision_benchmark(precision_payload)
+        assert "INT8/INT4/INT8" in text
+        assert "tempus:binary" in text
+        assert "sharded serving @ int4" in text
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(DataflowError):
+            run_precision_benchmark(models=("lenet",), out_dir=None)
+        with pytest.raises(DataflowError):
+            run_precision_benchmark(batch=0, out_dir=None)
+        with pytest.raises(DataflowError):
+            run_precision_benchmark(
+                precisions=("int4", "INT4"), out_dir=None
+            )
+
+    def test_verify_profile_outside_sweep(self):
+        """Regression: the sharded-verification profile (int4 by
+        default) need not appear in the swept precisions."""
+        payload = run_precision_benchmark(
+            models=("resnet18",),
+            precisions=("int8", "int2"),
+            batch=1,
+            quick=True,
+            config=CoreConfig(k=4, n=4),
+            out_dir=None,
+        )
+        verification = payload["sharded_verification"]
+        assert verification["precision"] == "int4"
+        assert verification["bit_identical_outputs_and_cycles"] is True
+
+
+class TestPrecisionThroughDrivers:
+    def test_network_benchmark_accepts_profile(self):
+        payload = run_network_benchmark(
+            models=("resnet18",),
+            batch=1,
+            quick=True,
+            config=CoreConfig(k=4, n=4),
+            precision="mixed",
+            out_dir=None,
+        )
+        assert payload["precision_profile"] == "mixed"
+        assert payload["precision_layers"] == "INT8/INT4/INT8"
+        assert payload["config"]["precision"] == "INT8"
+
+    def test_serving_benchmark_accepts_profile(self):
+        payload = run_serving_benchmark(
+            models=("resnet18",),
+            worker_counts=(2,),
+            requests=4,
+            quick=True,
+            repeats=1,
+            config=CoreConfig(k=4, n=4),
+            max_batch=2,
+            precision="int4",
+            out_dir=None,
+        )
+        assert payload["precision_profile"] == "int4"
+        assert payload["config"]["precision"] == "INT4"
+        for record in payload["models"]:
+            for sweep in record["workers"]:
+                assert sweep["bit_identical_to_reference"] is True
 
 
 class TestMeasure:

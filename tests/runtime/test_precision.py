@@ -1,0 +1,206 @@
+"""Per-layer precision profiles through the batched runtime.
+
+The tentpole guarantee of the mixed-precision runtime: at every
+profile — uniform INT2/INT4/INT8 and the mixed edge recipes — the
+vectorized batched path, the per-image reference path through the real
+cores, and both engines stay bit-identical in outputs AND cycles,
+while the tempus:binary cycle ratio improves as precision drops
+(binary cycle cost is precision-independent).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataflowError
+from repro.models.weights import load_quantized_model
+from repro.nvdla.config import CoreConfig
+from repro.quant.profile import MIXED_EDGE, precision_profile
+from repro.runtime import NetworkRunner, lower_model
+from repro.runtime.lowering import final_psum_spec
+from repro.utils.intrange import INT2, INT4, INT8
+
+PROFILES_UNDER_TEST = ("int8", "int4", "int2", "mixed")
+TINY = dict(scale=0.06, input_size=16)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CoreConfig(k=4, n=4)
+
+
+class TestLoweringProfiles:
+    def test_mixed_model_quantizes_per_layer(self):
+        model = load_quantized_model(
+            "resnet18", precision="mixed", scale=0.06
+        )
+        count = len(model.layers)
+        assert model.layers[0].precision is INT8
+        assert model.layers[-1].precision is INT8
+        for quantized in model.layers[1 : count - 1]:
+            assert quantized.precision is INT4
+            assert int(np.abs(quantized.codes).max()) <= 8
+        assert model.profile is MIXED_EDGE
+        assert model.precision is INT8  # provisioned format
+
+    def test_stage_configs_follow_profile(self, config):
+        model = load_quantized_model(
+            "resnet18", precision="mixed", scale=0.06
+        )
+        net = lower_model(model, config, input_size=16)
+        assert net.profile is MIXED_EDGE
+        assert net.precision is INT8  # network input format
+        assert net.stages[0].config.precision is INT8
+        assert net.stages[1].config.precision is INT4
+        assert net.stages[1].config.k == config.k
+        assert net.stages[-1].config.precision is INT8
+
+    def test_sdp_targets_next_stage_format(self, config):
+        """Hidden-stage SDP requantizes into the *next* stage's
+        activation format; the boundary stages cross formats."""
+        model = load_quantized_model(
+            "resnet18", precision="mixed", scale=0.06
+        )
+        net = lower_model(model, config, input_size=16)
+        # INT8 first stage feeds the INT4 interior.
+        assert net.stages[0].sdp.out_precision is INT4
+        # Interior stages stay INT4 until the last boundary.
+        assert net.stages[1].sdp.out_precision is INT4
+        # The stage before the final one produces the final stage's
+        # INT8 activations.
+        assert net.stages[-2].sdp.out_precision is INT8
+
+    def test_final_psum_format_scales_with_precision(self, config):
+        for name, expected in (("int8", 24), ("int4", 12), ("int2", 6)):
+            model = load_quantized_model(
+                "shufflenet_v2", precision=name, scale=0.06
+            )
+            cfg = config.with_precision(
+                precision_profile(name).widest
+            )
+            net = lower_model(model, cfg, input_size=16)
+            assert net.stages[-1].sdp.out_precision.width == expected
+
+    def test_final_psum_spec_values(self):
+        assert final_psum_spec(INT8).width == 24
+        assert final_psum_spec(INT4).width == 12
+        assert final_psum_spec(INT2).width == 6
+
+    def test_bias_range_follows_target_format(self, config):
+        """The SDP bias is drawn from the produced format's range, not
+        assumed INT8."""
+        model = load_quantized_model(
+            "resnet18", precision="int2", scale=0.06
+        )
+        net = lower_model(
+            model, config.with_precision(INT2), input_size=16
+        )
+        for stage in net.stages:
+            bias = stage.sdp.bias
+            assert int(np.abs(bias).max()) <= max(
+                1, INT2.max_magnitude // 2
+            )
+
+    def test_provisioned_precision_mismatch_rejected(self, config):
+        """A mixed model needs an array provisioned at its widest
+        member (INT8), so an INT4 geometry must be refused."""
+        model = load_quantized_model(
+            "resnet18", precision="mixed", scale=0.06
+        )
+        with pytest.raises(DataflowError):
+            lower_model(model, config.with_precision(INT4))
+
+
+class TestPrecisionEquivalence:
+    @pytest.mark.parametrize("engine", ["tempus", "binary"])
+    @pytest.mark.parametrize("precision", PROFILES_UNDER_TEST)
+    def test_batched_equals_per_image(self, config, engine, precision):
+        runner = NetworkRunner(
+            config, engine=engine, precision=precision, **TINY
+        )
+        batched = runner.run("mobilenet_v2", 3)
+        reference = runner.run_per_image("mobilenet_v2", 3)
+        assert np.array_equal(batched.output, reference.output)
+        assert batched.conv_cycles == reference.conv_cycles
+
+    @pytest.mark.parametrize("precision", PROFILES_UNDER_TEST)
+    def test_engines_agree_at_every_profile(self, config, precision):
+        tempus = NetworkRunner(
+            config, engine="tempus", precision=precision, **TINY
+        ).run("shufflenet_v2", 2)
+        binary = NetworkRunner(
+            config, engine="binary", precision=precision, **TINY
+        ).run("shufflenet_v2", 2)
+        assert np.array_equal(tempus.output, binary.output)
+        assert tempus.conv_cycles >= binary.conv_cycles
+
+    @pytest.mark.parametrize("precision", ["int4", "mixed"])
+    def test_burst_simulation_agrees(self, config, precision):
+        """The real burst-level simulated pipeline reproduces the
+        batched run at low/mixed precision, cycle for cycle."""
+        runner = NetworkRunner(
+            config, engine="tempus", precision=precision, **TINY
+        )
+        batched = runner.run("shufflenet_v2", 2)
+        simulated = runner.run_per_image(
+            "shufflenet_v2", 2, mode="burst"
+        )
+        assert np.array_equal(batched.output, simulated.output)
+        assert batched.conv_cycles == simulated.conv_cycles
+
+
+class TestPrecisionScaling:
+    def test_tempus_ratio_improves_as_precision_drops(self, config):
+        """The paper-family claim: binary cycles are precision
+        independent, so the tempus:binary ratio must improve
+        monotonically INT8 -> INT4 -> INT2."""
+        ratios = {}
+        binary_cycles = {}
+        for precision in ("int8", "int4", "int2"):
+            tempus = NetworkRunner(
+                config, engine="tempus", precision=precision, **TINY
+            ).run("resnet18", 2)
+            binary = NetworkRunner(
+                config, engine="binary", precision=precision, **TINY
+            ).run("resnet18", 2)
+            ratios[precision] = tempus.conv_cycles / binary.conv_cycles
+            binary_cycles[precision] = binary.conv_cycles
+        assert len(set(binary_cycles.values())) == 1
+        assert ratios["int8"] > ratios["int4"] > ratios["int2"]
+
+    def test_mixed_sits_between_uniform_extremes(self, config):
+        cycles = {}
+        for precision in ("int8", "int4", "mixed"):
+            cycles[precision] = NetworkRunner(
+                config, engine="tempus", precision=precision, **TINY
+            ).run("mobilenet_v2", 2).conv_cycles
+        assert cycles["int4"] < cycles["mixed"] < cycles["int8"]
+
+
+class TestRunnerProfileConfig:
+    def test_profile_widens_config_precision(self, config):
+        runner = NetworkRunner(config, precision="mixed", **TINY)
+        assert runner.config.precision is INT8
+        assert runner.config.k == config.k
+        runner_low = NetworkRunner(config, precision="int2", **TINY)
+        assert runner_low.config.precision is INT2
+
+    def test_default_profile_follows_config_precision(self):
+        runner = NetworkRunner(
+            CoreConfig(k=4, n=4, precision=INT4), **TINY
+        )
+        assert runner.profile.is_uniform
+        assert runner.profile.interior is INT4
+
+    def test_input_batch_uses_first_stage_format(self, config):
+        """A mixed network's inputs are INT8 (first stage), so INT8
+        edge values must validate even though the interior is INT4."""
+        runner = NetworkRunner(
+            config, engine="tempus", precision="mixed", **TINY
+        )
+        net = runner.compile("shufflenet_v2")
+        assert net.precision is INT8
+        images = np.full(
+            (1,) + tuple(net.input_shape), 127, dtype=np.int64
+        )
+        result = runner.run("shufflenet_v2", images)
+        assert result.batch_size == 1

@@ -51,6 +51,43 @@ class TestCoalescing:
         queue = RequestQueue(max_batch=4, max_wait=0.0)
         assert [queue.submit(_image(v)) for v in range(4)] == [0, 1, 2, 3]
 
+    def test_deadline_anchored_to_arrival_not_dispatcher(self):
+        """Regression: a busy dispatcher must not extend the coalescing
+        window.  The request arrived (and aged past max_wait) before
+        the dispatcher got around to next_batch(), so the batch must
+        flush immediately instead of waiting another max_wait."""
+        queue = RequestQueue(max_batch=8, max_wait=0.2)
+        queue.submit(_image(1))
+        time.sleep(0.25)  # dispatcher busy elsewhere
+        start = time.monotonic()
+        batch = queue.next_batch()
+        elapsed = time.monotonic() - start
+        assert len(batch) == 1
+        assert elapsed < 0.15, (
+            f"stale request waited another {elapsed:.3f}s past its "
+            "max_wait deadline"
+        )
+
+    def test_partially_aged_request_waits_only_the_remainder(self):
+        """The window is max_wait since arrival: after sleeping half
+        the window, next_batch blocks only for the remaining half."""
+        queue = RequestQueue(max_batch=8, max_wait=0.2)
+        queue.submit(_image(1))
+        time.sleep(0.1)
+        start = time.monotonic()
+        batch = queue.next_batch()
+        elapsed = time.monotonic() - start
+        assert len(batch) == 1
+        assert elapsed < 0.18, "waited a full fresh max_wait window"
+
+    def test_request_carries_arrival_timestamp(self):
+        queue = RequestQueue(max_batch=1, max_wait=0.0)
+        before = time.monotonic()
+        queue.submit(_image(0))
+        after = time.monotonic()
+        batch = queue.next_batch()
+        assert before <= batch[0].arrived <= after
+
 
 class TestCloseSemantics:
     def test_closed_empty_queue_returns_none(self):

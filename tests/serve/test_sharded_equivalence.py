@@ -27,6 +27,9 @@ FUZZ_MODELS = (
     "shufflenet_v2",
     "googlenet",
 )
+#: Precision profiles the fuzzer draws from: the three uniform paper
+#: precisions plus the standard mixed edge recipe.
+FUZZ_PRECISIONS = ("int8", "int4", "int2", "mixed")
 TINY = dict(scale=0.06, input_size=16)
 
 
@@ -39,6 +42,9 @@ def _random_scenario(fuzz_rng):
         "max_batch": int(fuzz_rng.integers(1, 5)),
         "k": int(2 ** fuzz_rng.integers(1, 3)),
         "scheduling": bool(fuzz_rng.integers(2)),
+        "precision": FUZZ_PRECISIONS[
+            int(fuzz_rng.integers(len(FUZZ_PRECISIONS)))
+        ],
     }
 
 
@@ -61,6 +67,7 @@ def test_sharded_equals_single_process_and_per_image(
             config,
             engine=scenario["engine"],
             scheduling=scenario["scheduling"],
+            precision=scenario["precision"],
             **TINY,
         )
         images = _random_images(
@@ -75,6 +82,7 @@ def test_sharded_equals_single_process_and_per_image(
             scheduling=scenario["scheduling"],
             max_batch=scenario["max_batch"],
             max_wait=0.005,
+            precision=scenario["precision"],
             **TINY,
         ) as server:
             sharded = server.run(scenario["model"], images)
@@ -90,6 +98,44 @@ def test_sharded_equals_single_process_and_per_image(
             == reference.conv_cycles
             == per_image.conv_cycles
         ), context
+
+
+@pytest.mark.parametrize("engine", ["tempus", "binary"])
+@pytest.mark.parametrize("precision", FUZZ_PRECISIONS)
+def test_precision_profiles_three_way_equivalence(
+    fuzz_rng, precision, engine
+):
+    """The mixed-precision serving guarantee, swept explicitly: at
+    INT2/INT4/INT8 and the mixed profile, on both engines, sharded
+    serving == batched run == per-image reference — outputs AND
+    cycles."""
+    config = CoreConfig(k=4, n=4)
+    runner = NetworkRunner(
+        config, engine=engine, precision=precision, **TINY
+    )
+    model = FUZZ_MODELS[int(fuzz_rng.integers(len(FUZZ_MODELS)))]
+    batch = int(fuzz_rng.integers(2, 5))
+    images = _random_images(fuzz_rng, runner, model, batch)
+    reference = runner.run(model, images)
+    per_image = runner.run_per_image(model, images)
+    with ShardedRunner(
+        workers=2,
+        config=config,
+        engine=engine,
+        precision=precision,
+        max_batch=2,
+        **TINY,
+    ) as server:
+        sharded = server.run(model, images)
+    context = f"model={model} precision={precision} engine={engine}"
+    assert np.array_equal(sharded.output, reference.output), context
+    assert np.array_equal(sharded.output, per_image.output), context
+    assert (
+        sharded.conv_cycles
+        == reference.conv_cycles
+        == per_image.conv_cycles
+    ), context
+    assert server.profile.name == precision
 
 
 def test_synthesized_requests_match_network_runner(fuzz_rng):

@@ -67,6 +67,33 @@ class TestValidation:
         out = INT4.check_array(np.array([1, -8], dtype=np.int8))
         assert out.dtype == np.int64
 
+    def test_check_array_rejects_fractional_floats(self):
+        """Regression: an in-range 2.7 used to silently truncate to 2;
+        fractional values must raise instead."""
+        with pytest.raises(PrecisionError):
+            INT8.check_array(np.array([2.7]))
+
+    def test_check_array_accepts_exact_integer_floats(self):
+        out = INT8.check_array(np.array([2.0, -5.0]))
+        assert out.dtype == np.int64
+        assert list(out) == [2, -5]
+
+    def test_check_array_rejects_nan_and_inf(self):
+        with pytest.raises(PrecisionError):
+            INT8.check_array(np.array([np.nan]))
+        with pytest.raises(PrecisionError):
+            INT8.check_array(np.array([np.inf]))
+
+    def test_check_array_rejects_non_numeric_dtypes(self):
+        with pytest.raises(PrecisionError):
+            INT8.check_array(np.array([True, False]))
+        with pytest.raises(PrecisionError):
+            INT8.check_array(np.array([1 + 0j]))
+
+    def test_check_array_preserves_int64_identity(self):
+        arr = np.array([1, 2], dtype=np.int64)
+        assert INT8.check_array(arr) is arr
+
     def test_clip_saturates(self):
         clipped = INT4.clip(np.array([100, -100, 3]))
         assert list(clipped) == [7, -8, 3]
