@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Compute-backend sweep benchmark (BENCH_backends.json).
+
+Sweeps >= 3 zoo networks over every registered compute backend (binary
+CMAC, Tempus PCU, tuGEMM, tubGEMM) at INT8 / INT4 / INT2, verifies
+outputs bit-identical across *all* backends at every point, and writes
+``results/BENCH_backends.json``: per (net, backend, precision) cycles
+and pJ/image (deployed-array energy model), the temporal:binary cycle
+and energy ratios, and the paper's Sec. V-C per-burst energy
+comparison at each model's mean burst length.  Two claims are pinned
+at every point:
+
+* tubGEMM's value-aware cycle count is strictly below tuGEMM's at
+  equal precision (2s-unary halves the pure-unary replay);
+* binary cycles/energy are precision-flat while every temporal
+  backend's drop with precision.
+
+Run directly::
+
+    python benchmarks/bench_backend_sweep.py           # full preset
+    python benchmarks/bench_backend_sweep.py --quick   # CI-sized
+    python benchmarks/bench_backend_sweep.py --models resnet18 --batch 2
+
+or through pytest (quick preset)::
+
+    pytest benchmarks/bench_backend_sweep.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.runtime.bench import (
+    DEFAULT_BACKEND_MODELS,
+    DEFAULT_BACKEND_PRECISIONS,
+    DEFAULT_BACKEND_SWEEP,
+    render_backend_benchmark,
+    run_backend_benchmark,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run(
+    models=DEFAULT_BACKEND_MODELS,
+    backends=DEFAULT_BACKEND_SWEEP,
+    precisions=DEFAULT_BACKEND_PRECISIONS,
+    batch: int = 4,
+    quick: bool = False,
+    write: bool = True,
+) -> dict:
+    payload = run_backend_benchmark(
+        models=models,
+        backends=backends,
+        precisions=precisions,
+        batch=batch,
+        quick=quick,
+        out_dir=RESULTS_DIR if write else None,
+    )
+    # Contract checks: every point ran all backends bit-identically,
+    # tubGEMM stays strictly below tuGEMM, every record carries cycles
+    # *and* energy, and binary's cycle cost is precision-flat while
+    # the temporal backends' improves as precision drops.
+    for record in payload["models"]:
+        assert len(record["precisions"]) == len(tuple(precisions))
+        binary_cycles = set()
+        for entry in record["precisions"]:
+            assert entry["outputs_bit_identical"]
+            if "tubgemm_below_tugemm" in entry:
+                assert entry["tubgemm_below_tugemm"]
+            for stats in entry["backends"].values():
+                assert stats["conv_cycles"] > 0
+                assert stats["energy"]["pj_per_image"] > 0
+            if "binary" in entry["backends"]:
+                binary_cycles.add(
+                    entry["backends"]["binary"]["conv_cycles"]
+                )
+        if binary_cycles:
+            assert len(binary_cycles) == 1  # value/precision-independent
+    return payload
+
+
+def test_backend_sweep_quick():
+    """Tracked invariant: all four backends agree bit for bit on >= 3
+    nets x 3 precisions, with tubGEMM strictly cheaper than tuGEMM and
+    every record carrying cycles + pJ/image."""
+    payload = run(batch=2, quick=True, write=False)
+    assert len(payload["models"]) >= 3
+    assert set(payload["backends"]) == set(DEFAULT_BACKEND_SWEEP)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=list(DEFAULT_BACKEND_MODELS),
+        help=f"zoo models (default: {' '.join(DEFAULT_BACKEND_MODELS)})",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=list(DEFAULT_BACKEND_SWEEP),
+        help=(
+            "registered backends to sweep "
+            f"(default: {' '.join(DEFAULT_BACKEND_SWEEP)})"
+        ),
+    )
+    parser.add_argument(
+        "--precisions",
+        nargs="+",
+        default=list(DEFAULT_BACKEND_PRECISIONS),
+        help=(
+            "precision profiles to sweep "
+            f"(default: {' '.join(DEFAULT_BACKEND_PRECISIONS)})"
+        ),
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=4,
+        help="images per network run (default 4)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized preset"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip the JSON artifact"
+    )
+    args = parser.parse_args()
+    payload = run(
+        models=tuple(args.models),
+        backends=tuple(args.backends),
+        precisions=tuple(args.precisions),
+        batch=args.batch,
+        quick=args.quick,
+        write=not args.no_write,
+    )
+    print(render_backend_benchmark(payload))
+    if "artifact" in payload:
+        print(f"\nwrote {payload['artifact']}")
+    else:
+        print("\n" + json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,12 @@ def measure(quick: bool = False) -> dict:
     return {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "quick": quick,
+        # Common benchmark-record fields (repro.eval.results_schema):
+        # this microbenchmark times one fixed layer on the tempus
+        # engine's three modes.
+        "net": "microbench_layer",
+        "backend": "tempus",
+        "precision": "int8",
         "layer": {
             "array": "16x16",
             "precision": "INT8",

@@ -10,6 +10,11 @@ Usage::
     python -m repro serve-bench --workers 4  # sharded serving sweep
     python -m repro serve-bench --precision int4 --workers 2
                                              # low-precision serving
+    python -m repro serve-bench --backend tubgemm --precision int4 --workers 2
+                                             # serve on another backend
+    python -m repro serve-bench --backend tugemm
+                                             # binary-vs-backend sweep
+    python -m repro check-results results/   # validate BENCH artifacts
 """
 
 from __future__ import annotations
@@ -88,6 +93,19 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     server.add_argument(
+        "--backend",
+        default="tempus",
+        metavar="NAME",
+        help=(
+            "compute backend: any registered name (binary, tempus, "
+            "tugemm, tubgemm, ...) or a first/interior/last mix like "
+            "binary/tubgemm/binary (mixes require --workers).  With "
+            "--workers the serving sweep runs on it; without, a "
+            "non-default name benchmarks it against the binary "
+            "baseline (writes BENCH_backends.json). (default: tempus)"
+        ),
+    )
+    server.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -120,6 +138,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default="results",
         help="artifact directory (default: results/)",
     )
+    checker = commands.add_parser(
+        "check-results",
+        help=(
+            "validate every results/BENCH_*.json artifact parses and "
+            "carries the common record fields (net, backend, "
+            "precision, cycles)"
+        ),
+    )
+    checker.add_argument(
+        "results_dir",
+        nargs="?",
+        default="results",
+        help="artifact directory (default: results/)",
+    )
     return parser
 
 
@@ -141,13 +173,21 @@ def _serve_bench(args) -> int:
     from repro.runtime.bench import (
         DEFAULT_MODELS,
         DEFAULT_SERVING_MODELS,
+        render_backend_benchmark,
         render_benchmark,
         render_serving_benchmark,
+        run_backend_benchmark,
         run_network_benchmark,
         run_serving_benchmark,
     )
 
     try:
+        # Canonicalize the backend spec once (case-insensitive names,
+        # "first/interior/last" mixes) so dispatch below compares
+        # canonical names, not raw CLI spellings.
+        from repro.runtime.backends import backend_profile
+
+        backend = backend_profile(args.backend)
         if args.workers is not None:
             if args.workers < 1:
                 print(
@@ -176,9 +216,41 @@ def _serve_bench(args) -> int:
                 scheduling=not args.no_schedule,
                 max_batch=args.max_batch,
                 precision=args.precision,
+                engine=backend.describe(),
                 out_dir=args.out,
             )
             rendered = render_serving_benchmark(payload)
+        elif not backend.is_uniform:
+            print(
+                "serve-bench failed: the single-process backend "
+                f"comparison sweeps registered backends; benchmark a "
+                f"mixed profile like {backend.describe()!r} through "
+                "the serving driver (add --workers N)",
+                file=sys.stderr,
+            )
+            return 2
+        elif backend.describe() != "tempus":
+            # A non-default backend choice benchmarks that backend
+            # against the binary baseline at the requested precision.
+            models = (
+                tuple(args.models)
+                if args.models
+                else DEFAULT_SERVING_MODELS
+            )
+            name = backend.describe()
+            backends = (
+                ("binary",) if name == "binary" else ("binary", name)
+            )
+            payload = run_backend_benchmark(
+                models=models,
+                backends=backends,
+                precisions=(args.precision,),
+                batch=args.batch if args.batch is not None else 4,
+                quick=args.quick,
+                scheduling=not args.no_schedule,
+                out_dir=args.out,
+            )
+            rendered = render_backend_benchmark(payload)
         else:
             models = tuple(args.models) if args.models else DEFAULT_MODELS
             payload = run_network_benchmark(
@@ -199,10 +271,25 @@ def _serve_bench(args) -> int:
     return 0
 
 
+def _check_results(args) -> int:
+    from repro.errors import ReproError
+    from repro.eval.results_schema import check_results_dir, render_check
+
+    try:
+        checked = check_results_dir(args.results_dir)
+    except ReproError as error:
+        print(f"check-results failed: {error}", file=sys.stderr)
+        return 2
+    print(render_check(checked))
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve-bench":
         return _serve_bench(args)
+    if args.command == "check-results":
+        return _check_results(args)
     if args.command == "list":
         for experiment_id in sorted(EXPERIMENTS):
             driver = EXPERIMENTS[experiment_id]

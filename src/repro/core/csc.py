@@ -34,4 +34,4 @@ class TempusSequenceController(SequenceController):
         """Burst length the PCU will need for a job — the largest weight
         magnitude in the k x n block, halved by 2s-unary coding (min 1)."""
         max_magnitude = int(abs(job.weight_block).max())
-        return max(1, self.code.cycles_for_magnitude(max_magnitude))
+        return self.code.step_cycles(max_magnitude)

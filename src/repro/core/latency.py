@@ -74,8 +74,7 @@ def burst_cycle_map(
     cache-in/out overhead."""
     code = code if code is not None else TwosUnaryCode()
     maxima = tile_max_magnitudes(weights, config.k, config.n)
-    cycles = code.cycles_array(maxima)
-    return np.maximum(cycles, 1) + config.burst_overhead
+    return code.step_cycles_array(maxima) + config.burst_overhead
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,186 @@
+"""Schema check for the ``results/BENCH_*.json`` artifacts.
+
+Every benchmark driver in this repo writes a JSON artifact; CI (and
+the tier-1 suite) verify that each one parses and that its records
+normalize to the common benchmark-record fields::
+
+    net        — zoo model (or layer) the record measures
+    backend    — compute backend / engine the record ran on
+    precision  — precision profile the record ran at
+    cycles     — simulated conv cycles of the record
+
+:func:`normalize_records` knows every artifact kind's layout and flattens
+it into those records, so downstream tooling (dashboards, regression
+diffing) reads one shape regardless of which driver produced the file.
+``python -m repro check-results [dir]`` runs :func:`check_results_dir`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import DataflowError
+
+#: Fields every normalized benchmark record carries.
+COMMON_FIELDS = ("net", "backend", "precision", "cycles")
+
+
+def _record(net, backend, precision, cycles) -> dict:
+    record = {
+        "net": str(net),
+        "backend": str(backend),
+        "precision": str(precision),
+        "cycles": int(cycles),
+    }
+    if record["cycles"] < 0:
+        raise DataflowError(f"negative cycle count in record {record}")
+    return record
+
+
+def _network_records(payload: dict) -> list:
+    precision = payload.get("precision_profile", "int8")
+    records = []
+    for model in payload["models"]:
+        for backend, stats in model["engines"].items():
+            records.append(
+                _record(
+                    model["model"], backend, precision,
+                    stats["conv_cycles"],
+                )
+            )
+    return records
+
+
+def _serving_records(payload: dict) -> list:
+    precision = payload.get("precision_profile", "int8")
+    backend = payload.get("engine", "tempus")
+    records = []
+    for model in payload["models"]:
+        for sweep in model["workers"]:
+            records.append(
+                _record(
+                    model["model"], backend, precision,
+                    sweep["conv_cycles"],
+                )
+            )
+    return records
+
+
+def _precision_records(payload: dict) -> list:
+    records = []
+    for model in payload["models"]:
+        for entry in model["precisions"]:
+            for backend, stats in entry["engines"].items():
+                records.append(
+                    _record(
+                        model["model"], backend, entry["precision"],
+                        stats["conv_cycles"],
+                    )
+                )
+    return records
+
+
+def _backend_records(payload: dict) -> list:
+    records = []
+    for model in payload["models"]:
+        for entry in model["precisions"]:
+            for backend, stats in entry["backends"].items():
+                records.append(
+                    _record(
+                        entry["net"], backend, entry["precision"],
+                        stats["conv_cycles"],
+                    )
+                )
+    return records
+
+
+def _engine_speed_records(payload: list) -> list:
+    # Pre-schema trajectory entries carry the layer geometry but no
+    # explicit net/backend/precision; the microbenchmark has always
+    # timed one fixed INT8 layer on the tempus engine.
+    return [
+        _record(
+            entry.get("net", "microbench_layer"),
+            entry.get("backend", "tempus"),
+            entry.get("precision", "int8"),
+            entry["simulated_cycles"],
+        )
+        for entry in payload
+    ]
+
+
+#: Artifact name -> normalizer.  New benchmark artifacts must register
+#: here (the directory check refuses unknown BENCH files).
+NORMALIZERS = {
+    "BENCH_networks.json": _network_records,
+    "BENCH_serving.json": _serving_records,
+    "BENCH_precision.json": _precision_records,
+    "BENCH_backends.json": _backend_records,
+    "BENCH_engine.json": _engine_speed_records,
+}
+
+
+def normalize_records(name: str, payload) -> list:
+    """Flatten one artifact's payload into common benchmark records.
+
+    Args:
+        name: artifact file name (e.g. ``"BENCH_networks.json"``).
+        payload: the parsed JSON document.
+
+    Raises:
+        DataflowError: unknown artifact name, or a record missing any
+            of :data:`COMMON_FIELDS`.
+    """
+    normalizer = NORMALIZERS.get(name)
+    if normalizer is None:
+        raise DataflowError(
+            f"unknown benchmark artifact {name!r}; register a "
+            "normalizer in repro.eval.results_schema.NORMALIZERS"
+        )
+    try:
+        records = normalizer(payload)
+    except (KeyError, TypeError, AttributeError, ValueError) as error:
+        raise DataflowError(
+            f"{name}: payload does not match the expected layout "
+            f"({error!r})"
+        ) from error
+    if not records:
+        raise DataflowError(f"{name}: artifact carries no records")
+    return records
+
+
+def check_results_dir(path: "str | Path" = "results") -> dict:
+    """Validate every ``BENCH_*.json`` under ``path``.
+
+    Returns ``{artifact name: normalized records}``; raises
+    :class:`DataflowError` on the first malformed artifact.
+    """
+    directory = Path(path)
+    if not directory.is_dir():
+        raise DataflowError(f"results directory {path!r} does not exist")
+    artifacts = sorted(directory.glob("BENCH_*.json"))
+    if not artifacts:
+        raise DataflowError(f"no BENCH_*.json artifacts under {path!r}")
+    checked = {}
+    for artifact in artifacts:
+        try:
+            payload = json.loads(artifact.read_text())
+        except json.JSONDecodeError as error:
+            raise DataflowError(
+                f"{artifact.name}: not valid JSON ({error})"
+            ) from error
+        checked[artifact.name] = normalize_records(artifact.name, payload)
+    return checked
+
+
+def render_check(checked: dict) -> str:
+    """One summary line per artifact."""
+    lines = []
+    for name, records in checked.items():
+        backends = sorted({record["backend"] for record in records})
+        lines.append(
+            f"{name}: {len(records)} records ok "
+            f"(backends: {', '.join(backends)})"
+        )
+    return "\n".join(lines)

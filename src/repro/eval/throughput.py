@@ -140,22 +140,19 @@ def measured_layer_throughput(
 ) -> MeasuredThroughput:
     """Run one layer through a simulated engine and report throughput.
 
-    Defaults to the vectorized burst engine, which is bit-identical to the
+    ``engine`` is any registered compute backend
+    (:func:`repro.runtime.backends.registered_backends`).  Defaults to
+    the vectorized burst engine, which is bit-identical to the
     tick-level simulation, so the numbers are *measured* (per-atom burst
     timing, gating statistics included) rather than analytic — yet fast
-    enough for full-scale layers.
+    enough for full-scale layers.  The gemm backends have no simulation
+    modes and accept only ``mode="fast"``.
     """
     # Imported here so this analysis module stays importable without the
     # core packages in docs-only contexts.
-    from repro.core.tempus_core import TempusCore
-    from repro.nvdla.conv_core import ConvolutionCore
+    from repro.runtime.backends import get_backend
 
-    if engine == "tempus":
-        core = TempusCore(config, mode=mode)
-    elif engine == "binary":
-        core = ConvolutionCore(config, mode=mode)
-    else:
-        raise DataflowError(f"unknown engine {engine!r}")
+    core = get_backend(engine).make_core(config, None, mode)
     result = core.run_layer(activations, weights, stride, padding)
     return MeasuredThroughput(
         engine=engine,

@@ -5,6 +5,12 @@ binary, each weight streams as 2s-unary pulses, one outer-product step costs
 ``ceil(max|b| / 2)`` cycles.  Worst case over N steps is ``N * 2^(w-2)`` —
 the same per-burst bound Tempus Core inherits, but in a GEMM dataflow that
 does not map onto DLA convolution pipelines (the gap Tempus Core closes).
+
+Step latency goes through :meth:`~repro.unary.encoding.UnaryCode.step_cycles`
+— the same magnitude->cycles helper the runtime's burst-map accounting and
+the CSC use — so the gemm-level and runtime-level cycle models agree by
+construction, including at the signed edge values (``-2^(w-1)`` has the
+largest magnitude of the format).
 """
 
 from __future__ import annotations
@@ -24,17 +30,15 @@ class TubGemm(GemmEngine):
 
     def step_cycles(self, b_row: np.ndarray) -> int:
         """One outer-product step: the largest streamed weight bounds the
-        lockstep array."""
+        lockstep array (min 1 cycle for an all-zero row)."""
         max_b = int(np.abs(b_row).max(initial=0))
-        return self.code.cycles_for_magnitude(max_b)
+        return self.code.step_cycles(max_b)
 
     def cycles_for(self, a: np.ndarray, b: np.ndarray) -> int:
         total = 0
         for j in range(a.shape[1]):
-            total += max(1, self.step_cycles(b[j, :]))
+            total += self.step_cycles(b[j, :])
         return total
 
     def worst_case_cycles(self, n: int) -> int:
-        return n * self.code.cycles_for_magnitude(
-            self.precision.max_magnitude
-        )
+        return n * self.code.step_cycles(self.precision.max_magnitude)

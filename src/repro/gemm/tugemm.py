@@ -5,6 +5,13 @@ replaying the full B-pulse train once per A pulse, so one outer-product
 step costs ``max|a| * max|b|`` cycles across the lockstep array, and the
 worst case over N steps is ``N * 2^(2w-2)`` — the quadratic latency that
 motivated tubGEMM's hybrid encoding (Sec. II-B).
+
+Each side's train length goes through
+:meth:`~repro.unary.encoding.UnaryCode.cycles_for_magnitude` and the step
+floor through :meth:`~repro.unary.encoding.UnaryCode.step_cycles`-style
+flooring, shared with the runtime's cycle accounting — the signed edge
+``-2^(w-1)`` carries the format's largest magnitude on *both* sides, so
+the worst case is ``(2^(w-1))^2`` per step, not ``(2^(w-1) - 1)^2``.
 """
 
 from __future__ import annotations
@@ -23,17 +30,26 @@ class TuGemm(GemmEngine):
         self.code = PureUnaryCode()
 
     def step_cycles(self, a_column: np.ndarray, b_row: np.ndarray) -> int:
-        """Latency of one outer-product step: the slowest lane pair."""
+        """Latency of one outer-product step: the slowest lane pair
+        (min 1 cycle — an all-zero step still occupies an issue slot)."""
         max_a = int(np.abs(a_column).max(initial=0))
         max_b = int(np.abs(b_row).max(initial=0))
-        return max_a * max_b
+        return max(
+            1,
+            self.code.cycles_for_magnitude(max_a)
+            * self.code.cycles_for_magnitude(max_b),
+        )
 
     def cycles_for(self, a: np.ndarray, b: np.ndarray) -> int:
         total = 0
         for j in range(a.shape[1]):
-            total += max(1, self.step_cycles(a[:, j], b[j, :]))
+            total += self.step_cycles(a[:, j], b[j, :])
         return total
 
     def worst_case_cycles(self, n: int) -> int:
         magnitude = self.precision.max_magnitude
-        return n * magnitude * magnitude
+        return n * max(
+            1,
+            self.code.cycles_for_magnitude(magnitude)
+            * self.code.cycles_for_magnitude(magnitude),
+        )

@@ -175,7 +175,9 @@ def evaluate_on_accelerator(
         images: (N, 1, S, S) FP32 images.
         labels: (N,) targets.
         config: array geometry (defaults to 8x8 INT8).
-        engine: "tempus" or "binary".
+        engine: any registered compute backend ("tempus", "binary",
+            "tugemm", "tubgemm", ...) — accuracy is engine-independent
+            (every backend computes the exact integer pipeline).
         limit: evaluate only the first ``limit`` images.
     """
     config = config if config is not None else CoreConfig(k=8, n=8)

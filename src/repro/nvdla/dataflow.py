@@ -117,6 +117,28 @@ class ConvShape:
         return self.channel_blocks(n) * self.kernel_h * self.kernel_w
 
 
+def conv_atoms(
+    kernels: int,
+    channels: int,
+    kernel_h: int,
+    kernel_w: int,
+    out_pixels: int,
+    k: int,
+    n: int,
+) -> int:
+    """Atoms the CSC issues for one conv layer (group) — the single
+    source of the binary cycle model's work count, shared by
+    :meth:`ConvShape`-driven cores, the lowering pass and the runtime
+    backends so the three layers cannot drift apart."""
+    return (
+        math.ceil(kernels / k)
+        * out_pixels
+        * math.ceil(channels / n)
+        * kernel_h
+        * kernel_w
+    )
+
+
 @dataclass(frozen=True)
 class Atom:
     """One scheduling step: a 1x1xn feature slice against the matching
@@ -369,7 +391,8 @@ def im2col(
     activations: np.ndarray, shape: ConvShape
 ) -> np.ndarray:
     """Lower a (C,H,W) tensor to the (out_pixels, C*R*S) patch matrix —
-    the GEMM view of convolution (Sec. II-A)."""
+    the GEMM view of convolution (Sec. II-A).  Rows walk output pixels
+    row-major; each row flattens its patch channel-major (C, R, S)."""
     activations = np.asarray(activations, dtype=np.int64)
     padded = np.pad(
         activations,
@@ -377,21 +400,15 @@ def im2col(
          (shape.padding, shape.padding)),
         mode="constant",
     )
-    columns = np.empty(
-        (
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (shape.kernel_h, shape.kernel_w), axis=(1, 2)
+    )[:, :: shape.stride, :: shape.stride]
+    # (C, OH, OW, R, S) -> (OH, OW, C, R, S) -> (P, C*R*S)
+    return np.ascontiguousarray(
+        windows[:, : shape.out_height, : shape.out_width]
+        .transpose(1, 2, 0, 3, 4)
+        .reshape(
             shape.output_pixels,
             shape.in_channels * shape.kernel_h * shape.kernel_w,
-        ),
-        dtype=np.int64,
+        )
     )
-    index = 0
-    for out_y in range(shape.out_height):
-        for out_x in range(shape.out_width):
-            y0 = out_y * shape.stride
-            x0 = out_x * shape.stride
-            patch = padded[
-                :, y0 : y0 + shape.kernel_h, x0 : x0 + shape.kernel_w
-            ]
-            columns[index] = patch.reshape(-1)
-            index += 1
-    return columns

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.errors import DataflowError
 from repro.nvdla.config import CoreConfig
-from repro.nvdla.conv_core import ConvolutionCore
 from repro.nvdla.dataflow import ConvShape, golden_conv2d_batched
 from repro.nvdla.pdp import Pdp, PdpConfig
 from repro.nvdla.sdp import Sdp, SdpConfig
@@ -81,21 +80,20 @@ class InferencePipeline:
         """Args:
         config: MAC array geometry/precision.
         stages: ordered conv/pool stages.
-        engine: "tempus" or "binary".
+        engine: any registered compute backend ("tempus", "binary",
+            "tugemm", "tubgemm", ... — see
+            :mod:`repro.runtime.backends`).
         """
-        if engine not in ("tempus", "binary"):
-            raise DataflowError(f"unknown engine {engine!r}")
+        # Imported here: the backend registry sits above this module in
+        # the package graph (it builds on repro.core / repro.nvdla), so
+        # a module-level import would be circular.
+        from repro.runtime.backends import get_backend
+
+        backend = get_backend(engine)
         self.config = config
         self.stages = list(stages)
-        self.engine_name = engine
-        if engine == "tempus":
-            # Imported here: repro.core depends on repro.nvdla's dataflow
-            # modules, so a module-level import would be circular.
-            from repro.core.tempus_core import TempusCore
-
-            self._core = TempusCore(config, mode="fast")
-        else:
-            self._core = ConvolutionCore(config, mode="fast")
+        self.engine_name = backend.name
+        self._core = backend.make_core(config, None, "fast")
 
     def run(self, activations: np.ndarray) -> PipelineResult:
         """Forward one (C, H, W) integer input through every stage."""

@@ -12,6 +12,17 @@ silent (zero-weight) lanes neither pulse nor load the tree.  The
 ``silent_adjusted`` figure scales the lane-local share of array power by
 the measured active-PE fraction — the optimistic bound the paper points to
 as future clock-gating headroom.
+
+Per-network energy (:func:`network_energy`): the runtime's compute
+backends each name the synthesized array that powers them
+(``"binary"`` — the CMAC grid — or ``"tub"`` — the temporal PE array),
+and a whole inference costs ``P_array x cycles x T_clk``.  The power is
+that of the *deployed* silicon — the geometry synthesized at
+:data:`DEPLOYED_WIDTH` (INT8, the paper's taped-out part): running a
+lower-precision profile does not re-synthesize the array, it only
+shortens the temporal backends' bursts.  That is the paper's scaling
+story — and it is why binary energy is precision-flat (same power, same
+value-independent cycles) while temporal energy drops with precision.
 """
 
 from __future__ import annotations
@@ -21,9 +32,11 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.hwmodel import tub_array_netlist, tub_pe_cell_netlist
+from repro.errors import DataflowError
 from repro.hw.synthesis import SynthesisResult, synthesize
 from repro.nvdla.config import CoreConfig
 from repro.nvdla.hwmodel import binary_array_netlist
+from repro.utils.intrange import int_spec
 
 
 @lru_cache(maxsize=8)
@@ -112,6 +125,74 @@ def array_powers(
         clock_mhz=clock_mhz,
     )
     return binary, tub
+
+
+#: Bit width of the deployed silicon the per-network energy model
+#: assumes: the INT8-capable arrays the paper synthesizes and P&Rs.
+#: Lower-precision profiles run on the same part (shorter bursts, same
+#: per-cycle array power) — they do not shrink the silicon.
+DEPLOYED_WIDTH = 8
+
+#: Operating point for per-network energy (the paper's synthesis
+#: corner).
+DEFAULT_CLOCK_MHZ = 250.0
+
+
+@lru_cache(maxsize=64)
+def array_power_mw(
+    array: str,
+    k: int,
+    n: int,
+    width: int = DEPLOYED_WIDTH,
+    clock_mhz: float = DEFAULT_CLOCK_MHZ,
+) -> float:
+    """Synthesized total power of one k x n array (cached — synthesis
+    is deterministic, so one run per geometry/array suffices).
+
+    Args:
+        array: "binary" (CMAC grid) or "tub" (temporal PE array).
+        k / n: array geometry.
+        width: operand bit width the silicon is provisioned for.
+        clock_mhz: synthesis operating point.
+    """
+    precision = int_spec(width)
+    if array == "binary":
+        netlist = binary_array_netlist(k, n, precision)
+    elif array == "tub":
+        netlist = tub_array_netlist(k, n, precision)
+    else:
+        raise DataflowError(
+            f"unknown power array {array!r} (expected 'binary' or 'tub')"
+        )
+    return synthesize(netlist, clock_mhz=clock_mhz).total_power_mw
+
+
+def network_energy(
+    array: str,
+    cycles_per_image: float,
+    config: CoreConfig,
+    clock_mhz: float = DEFAULT_CLOCK_MHZ,
+) -> dict:
+    """Per-image energy of a whole-network inference on one array.
+
+    ``E = P_array x cycles x T_clk`` with the deployed
+    (:data:`DEPLOYED_WIDTH`) array's synthesized power — mW x ns = pJ.
+
+    Returns a JSON-ready record: ``{"array", "power_mw",
+    "deployed_precision", "clock_mhz", "pj_per_image"}``.
+    """
+    if cycles_per_image < 0:
+        raise DataflowError("cycles_per_image must be non-negative")
+    power = array_power_mw(array, config.k, config.n, DEPLOYED_WIDTH,
+                           clock_mhz)
+    period_ns = 1e3 / clock_mhz
+    return {
+        "array": array,
+        "power_mw": power,
+        "deployed_precision": int_spec(DEPLOYED_WIDTH).name,
+        "clock_mhz": clock_mhz,
+        "pj_per_image": power * float(cycles_per_image) * period_ns,
+    }
 
 
 def workload_energy(

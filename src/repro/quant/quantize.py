@@ -40,7 +40,11 @@ class SymmetricQuantizer:
         spec = int_spec(precision)
         if threshold <= 0:
             raise CalibrationError("threshold must be positive")
-        return cls(spec=spec, scale=threshold / spec.max_value)
+        # A subnormal threshold can underflow the division to 0.0;
+        # floor at the smallest normal double (every finite input then
+        # quantizes to 0, which is the right answer at that scale).
+        scale = max(threshold / spec.max_value, np.finfo(np.float64).tiny)
+        return cls(spec=spec, scale=scale)
 
     def quantize(self, values: np.ndarray) -> np.ndarray:
         arr = np.asarray(values, dtype=np.float64)

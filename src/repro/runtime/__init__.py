@@ -1,14 +1,24 @@
 """Batched full-network inference runtime.
 
 Compiles ``models/zoo.py`` topologies into NVDLA pipeline stages
-(:mod:`repro.runtime.lowering`), executes them batched on either
-convolution engine (:mod:`repro.runtime.executor` /
-:mod:`repro.runtime.runner`) and benchmarks networks across engines and
-worker counts (:mod:`repro.runtime.bench`).  The sharded multi-process
-serving front-end lives in :mod:`repro.serve` and runs the same
+(:mod:`repro.runtime.lowering`), executes them batched on any
+registered compute backend (:mod:`repro.runtime.backends` /
+:mod:`repro.runtime.executor` / :mod:`repro.runtime.runner`) and
+benchmarks networks across backends, precisions and worker counts
+(:mod:`repro.runtime.bench`).  The sharded multi-process serving
+front-end lives in :mod:`repro.serve` and runs the same
 :class:`BatchExecutor` in every worker.
 """
 
+from repro.runtime.backends import (
+    BackendProfile,
+    ComputeBackend,
+    backend_profile,
+    check_backend,
+    get_backend,
+    register_backend,
+    registered_backends,
+)
 from repro.runtime.executor import BatchExecutor
 from repro.runtime.lowering import (
     CompiledNetwork,
@@ -19,11 +29,18 @@ from repro.runtime.lowering import (
 from repro.runtime.runner import NetworkResult, NetworkRunner
 
 __all__ = [
+    "BackendProfile",
     "BatchExecutor",
     "CompiledNetwork",
+    "ComputeBackend",
     "NetworkResult",
     "NetworkRunner",
     "StagePlan",
+    "backend_profile",
+    "check_backend",
+    "get_backend",
     "lower_model",
+    "register_backend",
+    "registered_backends",
     "stage_atoms",
 ]

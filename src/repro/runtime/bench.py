@@ -36,13 +36,17 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.latency import burst_map_cache_stats
+from repro.core.latency import burst_map_cache_stats, \
+    cached_burst_cycle_map
 from repro.errors import DataflowError
 from repro.eval.throughput import images_per_million_cycles, \
     requests_per_second
 from repro.models.zoo import MODEL_NAMES
 from repro.nvdla.config import CoreConfig
+from repro.profiling.energy import network_energy, workload_energy
 from repro.quant.profile import precision_profile
+from repro.runtime.backends import backend_profile, get_backend, \
+    resolve_stage_backends
 from repro.runtime.runner import NetworkRunner
 
 #: Default benchmark workload: the two Table-I models with the most
@@ -77,7 +81,11 @@ def measure(fn, repeats: int = 1) -> tuple:
     return result, best
 
 
-def _engine_record(result, seconds: "float | None" = None) -> dict:
+def _engine_record(
+    result,
+    seconds: "float | None" = None,
+    energy: "dict | None" = None,
+) -> dict:
     record = {
         "conv_cycles": int(result.conv_cycles),
         "cycles_per_image": float(result.cycles_per_image),
@@ -93,12 +101,48 @@ def _engine_record(result, seconds: "float | None" = None) -> dict:
             "hit_rate": float(result.cache["hit_rate"]),
         },
     }
+    if energy is not None:
+        record["energy"] = energy
     if seconds is not None:
         record["wall_seconds"] = float(seconds)
         record["host_images_per_second"] = float(
             requests_per_second(result.batch_size, seconds)
         )
     return record
+
+
+def _energy_record(runner, model_name: str, result) -> dict:
+    """Per-image energy of one benchmark run.
+
+    Accounts every conv stage at its own backend's deployed-array
+    power (:func:`repro.profiling.energy.network_energy`), so mixed
+    backend profiles sum correctly; uniform profiles reduce to
+    ``power x cycles x T_clk``.
+    """
+    net = runner.compile(model_name)
+    backends = resolve_stage_backends(net)
+    conv_records = [
+        record for record in result.stages if record.kind == "conv"
+    ]
+    batch = max(result.batch_size, 1)
+    total_pj = 0.0
+    arrays: dict = {}
+    clock_mhz = None
+    deployed = None
+    for record, backend in zip(conv_records, backends):
+        stage_energy = network_energy(
+            backend.array, record.conv_cycles / batch, runner.config
+        )
+        total_pj += stage_energy["pj_per_image"]
+        arrays[backend.array] = stage_energy["power_mw"]
+        clock_mhz = stage_energy["clock_mhz"]
+        deployed = stage_energy["deployed_precision"]
+    return {
+        "pj_per_image": total_pj,
+        "array_power_mw": arrays,
+        "deployed_precision": deployed,
+        "clock_mhz": clock_mhz,
+    }
 
 
 def run_network_benchmark(
@@ -175,6 +219,8 @@ def run_network_benchmark(
         # pay a third forward pass for a ratio that is 1.0 by
         # construction.
         baseline = unscheduled.run(name, batch) if scheduling else tempus
+        binary_energy = _energy_record(runners["binary"], name, binary)
+        tempus_energy = _energy_record(runners["tempus"], name, tempus)
         record = {
             "model": name,
             "batch": int(batch),
@@ -184,9 +230,17 @@ def run_network_benchmark(
             ),
             "outputs_bit_identical": True,
             "engines": {
-                "binary": _engine_record(binary, binary_seconds),
-                "tempus": _engine_record(tempus, tempus_seconds),
+                "binary": _engine_record(
+                    binary, binary_seconds, binary_energy
+                ),
+                "tempus": _engine_record(
+                    tempus, tempus_seconds, tempus_energy
+                ),
             },
+            "tempus_vs_binary_energy": float(
+                tempus_energy["pj_per_image"]
+                / max(binary_energy["pj_per_image"], 1e-12)
+            ),
             # Cycle-for-cycle, the tub core trades latency for
             # area/power (the paper's Table 2 story); > means binary
             # finishes the batch in fewer cycles.
@@ -288,7 +342,9 @@ def run_serving_benchmark(
         quick: smaller width/resolution preset for smoke runs.
         scheduling: apply burst-aware tile scheduling when lowering.
         config: array geometry (defaults to 16x16 INT8).
-        engine: "tempus" or "binary".
+        engine: compute backend served — any registered name
+            ("binary", "tempus", "tugemm", "tubgemm", ...) or a
+            "first/interior/last" mixed spec.
         max_batch / max_wait: dynamic-batching knobs.
         repeats: best-of-N wall-clock repeats per worker count.
         precision: per-layer precision profile served.
@@ -300,6 +356,9 @@ def run_serving_benchmark(
     from repro.serve import ShardedRunner
 
     _check_models(models)
+    # Canonical backend-profile spelling: validates the name(s) up
+    # front and keeps the JSON payload a plain string.
+    engine = backend_profile(engine).describe()
     if requests < 1:
         raise DataflowError("requests must be >= 1")
     if any(count < 1 for count in worker_counts):
@@ -326,6 +385,9 @@ def run_serving_benchmark(
     model_records = []
     for name in models:
         reference = reference_runner.run(name, requests)
+        # Energy is cycle-derived, so it is identical at every worker
+        # count (the shards replicate compute, they don't change it).
+        energy = _energy_record(reference_runner, name, reference)
         sweep = []
         for workers in worker_counts:
             with ShardedRunner(
@@ -353,7 +415,7 @@ def run_serving_benchmark(
                     f"{name}: sharded run with {workers} worker(s) "
                     "diverged from the single-process reference"
                 )
-            record = _engine_record(result, seconds)
+            record = _engine_record(result, seconds, energy)
             makespan = result.makespan_cycles
             record["workers"] = int(workers)
             record["jobs"] = int(result.jobs)
@@ -565,8 +627,16 @@ def run_precision_benchmark(
                     ),
                     "outputs_bit_identical": True,
                     "engines": {
-                        "tempus": _engine_record(tempus, tempus_seconds),
-                        "binary": _engine_record(binary, binary_seconds),
+                        "tempus": _engine_record(
+                            tempus,
+                            tempus_seconds,
+                            _energy_record(tempus_runner, name, tempus),
+                        ),
+                        "binary": _engine_record(
+                            binary,
+                            binary_seconds,
+                            _energy_record(binary_runner, name, binary),
+                        ),
                     },
                     "tempus_vs_binary_cycle_ratio": float(
                         tempus.conv_cycles / max(binary.conv_cycles, 1)
@@ -706,6 +776,279 @@ def render_precision_benchmark(payload: dict) -> str:
             f"{'yes' if verification['bit_identical_outputs_and_cycles'] else 'NO'}"
         )
     return "\n\n".join(lines)
+
+
+#: Backend-sweep defaults: three structurally dissimilar nets, all four
+#: registered MAC-unit designs, the paper's three uniform precisions.
+DEFAULT_BACKEND_MODELS = DEFAULT_SERVING_MODELS
+DEFAULT_BACKEND_SWEEP = ("binary", "tempus", "tugemm", "tubgemm")
+DEFAULT_BACKEND_PRECISIONS = ("int8", "int4", "int2")
+
+
+def _mean_burst_cycles(net) -> float:
+    """Mean burst length across a compiled network's weight tiles —
+    the Fig. 7 statistic, at the network's own per-stage configs."""
+    total = 0
+    tiles = 0
+    for stage in net.stages:
+        for weights in stage.weights:
+            bursts = cached_burst_cycle_map(
+                weights, stage.config, net.code
+            )
+            total += int(bursts.sum())
+            tiles += int(bursts.size)
+    return total / max(tiles, 1)
+
+
+def run_backend_benchmark(
+    models: "tuple[str, ...] | list[str]" = DEFAULT_BACKEND_MODELS,
+    backends: "tuple[str, ...] | list[str]" = DEFAULT_BACKEND_SWEEP,
+    precisions: "tuple | list" = DEFAULT_BACKEND_PRECISIONS,
+    batch: int = 4,
+    quick: bool = False,
+    scheduling: bool = True,
+    config: CoreConfig | None = None,
+    out_dir: "str | Path | None" = "results",
+) -> dict:
+    """Sweep compute backends x precision profiles
+    (``results/BENCH_backends.json``).
+
+    For every (model, precision) point each registered backend runs the
+    same batch; outputs are verified bit-identical across *all*
+    backends, and each backend's reference core (the real conv cores;
+    the actual GemmEngine via im2col for the gemm backends) is driven
+    on a probe image and pinned to the batched path in outputs *and*
+    cycles, before cycles and per-image energy are recorded (only the
+    cycle/energy accounting may differ — every backend computes the
+    exact integer convolution).  Two claims are pinned per point:
+
+    * tubGEMM's value-aware cycle count is strictly below tuGEMM's at
+      equal precision (the hybrid-encoding win — 2s-unary weight
+      streaming vs the pure-unary replay);
+    * the temporal:binary cycle ratio of every temporal backend
+      improves as precision drops, while binary cycles stay flat.
+
+    Energy: every backend record carries ``pj_per_image`` from the
+    deployed-array power model (:func:`~repro.profiling.energy
+    .network_energy`), and each (model, precision) point carries the
+    paper's Sec. V-C per-burst comparison
+    (:func:`~repro.profiling.energy.workload_energy`) at the model's
+    mean burst length.
+
+    Args:
+        models: zoo model names (the artifact contract wants >= 3).
+        backends: registered backend names to sweep.
+        precisions: precision profiles to sweep.
+        batch: images per network run (>= 1).
+        quick: smaller width/resolution preset for smoke runs.
+        scheduling: apply burst-aware tile scheduling when lowering.
+        config: array geometry (k/n).
+        out_dir: where BENCH_backends.json is written (None = don't).
+
+    Returns:
+        the record written to the artifact.
+    """
+    _check_models(models)
+    if batch < 1:
+        raise DataflowError("batch must be >= 1")
+    if not backends:
+        raise DataflowError("backend sweep must name >= 1 backend")
+    backend_names = tuple(get_backend(name).name for name in backends)
+    if len(set(backend_names)) != len(backend_names):
+        raise DataflowError("duplicate backends in sweep")
+    config = config if config is not None else CoreConfig()
+    profiles = [precision_profile(entry) for entry in precisions]
+    if len({profile.name for profile in profiles}) != len(profiles):
+        raise DataflowError("duplicate precision profiles in sweep")
+    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
+
+    # One runner per (profile, backend): per-backend wall-clock stays
+    # honest (each backend times its own compile-warmed steady state)
+    # at the cost of re-lowering per backend — a deliberate trade; the
+    # whole sweep is minutes even at the full preset.
+    runners = {
+        (profile.name, name): NetworkRunner(
+            config,
+            engine=name,
+            scheduling=scheduling,
+            scale=scale,
+            input_size=input_size,
+            precision=profile,
+        )
+        for profile in profiles
+        for name in backend_names
+    }
+
+    model_records = []
+    for model in models:
+        sweep = []
+        for profile in profiles:
+            results = {}
+            records = {}
+            for name in backend_names:
+                runner = runners[(profile.name, name)]
+                runner.run(model, 1)  # warm compile + burst maps
+                result, seconds = measure(
+                    lambda: runner.run(model, batch)
+                )
+                results[name] = result
+                records[name] = _engine_record(
+                    result,
+                    seconds,
+                    _energy_record(runner, model, result),
+                )
+                records[name]["temporal"] = get_backend(name).temporal
+                # The batched path computes outputs through the shared
+                # golden kernels regardless of backend, so comparing
+                # batched outputs alone would be vacuous.  Drive each
+                # backend's *reference* core (real conv cores; the
+                # actual GemmEngine via im2col for tugemm/tubgemm) on
+                # one image and pin outputs AND cycles to the batched
+                # run — this is where a broken engine would surface.
+                probe = runner.synthesize_batch(model, 1)
+                batched_probe = runner.run(model, probe)
+                reference_probe = runner.run_per_image(model, probe)
+                if not (
+                    np.array_equal(
+                        batched_probe.output, reference_probe.output
+                    )
+                    and batched_probe.conv_cycles
+                    == reference_probe.conv_cycles
+                ):
+                    raise DataflowError(
+                        f"{model} @ {profile.name}: backend {name!r} "
+                        "reference core diverged from the batched path"
+                    )
+                records[name]["reference_path_verified"] = True
+            reference_name = backend_names[0]
+            reference = results[reference_name]
+            for name, result in results.items():
+                if not np.array_equal(result.output, reference.output):
+                    raise DataflowError(
+                        f"{model} @ {profile.name}: backend {name!r} "
+                        f"diverged from {reference_name!r} — outputs "
+                        "must be bit-identical across backends"
+                    )
+            entry = {
+                "net": model,
+                "precision": profile.name,
+                "layers": profile.describe(),
+                "outputs_bit_identical": True,
+                "backends": records,
+            }
+            if "binary" in results:
+                binary = results["binary"]
+                entry["vs_binary_cycles"] = {
+                    name: float(
+                        results[name].conv_cycles
+                        / max(binary.conv_cycles, 1)
+                    )
+                    for name in backend_names
+                    if name != "binary"
+                }
+                if "tempus" in results:
+                    entry["tempus_vs_binary_cycle_ratio"] = entry[
+                        "vs_binary_cycles"
+                    ]["tempus"]
+                entry["vs_binary_energy"] = {
+                    name: float(
+                        records[name]["energy"]["pj_per_image"]
+                        / max(
+                            records["binary"]["energy"]["pj_per_image"],
+                            1e-12,
+                        )
+                    )
+                    for name in backend_names
+                    if name != "binary"
+                }
+            if "tugemm" in results and "tubgemm" in results:
+                below = bool(
+                    results["tubgemm"].conv_cycles
+                    < results["tugemm"].conv_cycles
+                )
+                if not below:
+                    raise DataflowError(
+                        f"{model} @ {profile.name}: tubGEMM cycles "
+                        f"({results['tubgemm'].conv_cycles}) not below "
+                        f"tuGEMM's ({results['tugemm'].conv_cycles}) — "
+                        "the hybrid-encoding claim is violated"
+                    )
+                entry["tubgemm_below_tugemm"] = below
+            # The paper's Sec. V-C per-burst comparison at this
+            # model/precision point (deployed INT8 arrays, the model's
+            # mean burst length).
+            net = runners[(profile.name, backend_names[0])].compile(model)
+            comparison = workload_energy(
+                model, config, _mean_burst_cycles(net)
+            )
+            entry["burst_energy"] = {
+                "mean_burst_cycles": comparison.burst_cycles,
+                "binary_pj": comparison.binary_energy_pj,
+                "tub_pj": comparison.tub_energy_pj,
+                "energy_gap": comparison.energy_gap,
+            }
+            sweep.append(entry)
+        model_records.append({"model": model, "precisions": sweep})
+
+    payload = {
+        "benchmark": "backend_sweep",
+        "config": {"k": config.k, "n": config.n},
+        "quick": bool(quick),
+        "scheduling": bool(scheduling),
+        "scale": scale,
+        "input_size": input_size,
+        "batch": int(batch),
+        "backends": list(backend_names),
+        "precisions": [profile.name for profile in profiles],
+        "models": model_records,
+    }
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        artifact = out_path / "BENCH_backends.json"
+        artifact.write_text(json.dumps(payload, indent=2) + "\n")
+        payload["artifact"] = str(artifact)
+    return payload
+
+
+def render_backend_benchmark(payload: dict) -> str:
+    """Human-readable summary of a backend-sweep payload."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for record in payload["models"]:
+        for entry in record["precisions"]:
+            for name in payload["backends"]:
+                stats = entry["backends"][name]
+                rows.append(
+                    (
+                        entry["net"],
+                        entry["layers"],
+                        name,
+                        f"{stats['conv_cycles']:,}",
+                        f"{stats['energy']['pj_per_image']:,.0f}",
+                        f"{entry.get('vs_binary_cycles', {}).get(name, 1.0):.3f}",
+                        "yes" if entry["outputs_bit_identical"] else "NO",
+                    )
+                )
+    config = payload["config"]
+    return format_table(
+        [
+            "net",
+            "precision",
+            "backend",
+            "cycles",
+            "pJ/image",
+            "cycles vs binary",
+            "bit-identical",
+        ],
+        rows,
+        title=(
+            f"compute-backend sweep on {config['k']}x{config['n']} "
+            f"(scale {payload['scale']}, input {payload['input_size']}, "
+            f"batch {payload['batch']})"
+        ),
+    )
 
 
 def render_benchmark(payload: dict) -> str:

@@ -3,7 +3,8 @@
 :class:`BatchExecutor` is the single implementation of the vectorized
 forward pass over a :class:`~repro.runtime.lowering.CompiledNetwork`:
 seam adapters, PDP pools, per-group convolution, SDP requantization and
-the analytic cycle accounting.  Both the in-process
+the analytic cycle accounting — per stage, on the stage's registered
+compute backend (:mod:`repro.runtime.backends`).  Both the in-process
 :class:`~repro.runtime.runner.NetworkRunner` and the worker processes of
 :class:`~repro.serve.ShardedRunner` execute batches through this one
 class, which is what makes the sharded serving path bit-identical (in
@@ -21,17 +22,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.latency import burst_map_cache_stats, \
-    cached_burst_cycle_map
-from repro.errors import DataflowError
+from repro.core.latency import burst_map_cache_stats
 from repro.nvdla.dataflow import golden_conv2d_batched
 from repro.nvdla.pdp import Pdp
 from repro.nvdla.pipeline import StageResult
 from repro.nvdla.sdp import Sdp
-from repro.runtime.lowering import CompiledNetwork, StagePlan, \
-    stage_atoms
-
-_ENGINES = ("tempus", "binary")
+from repro.runtime.backends import DEFAULT_BACKEND, ComputeBackend, \
+    backend_profile, get_backend, resolve_stage_backends
+from repro.runtime.lowering import CompiledNetwork, StagePlan
 
 
 def fit_channels(
@@ -71,13 +69,31 @@ def fit_spatial(
 
 
 class BatchExecutor:
-    """Execute (B, C, H, W) batches through one compiled network."""
+    """Execute (B, C, H, W) batches through one compiled network.
 
-    def __init__(self, net: CompiledNetwork, engine: str) -> None:
-        if engine not in _ENGINES:
-            raise DataflowError(f"unknown engine {engine!r}")
+    Args:
+        net: the compiled program.
+        engine: which compute backend(s) to account cycles on — None
+            uses the per-stage backends recorded at lowering, a
+            registered name (``"binary"``, ``"tempus"``, ``"tugemm"``,
+            ``"tubgemm"``) runs every stage on that backend, and a
+            :class:`~repro.runtime.backends.BackendProfile` (or
+            ``"first/interior/last"`` spec) mixes backends per stage.
+            Outputs are backend-independent (every backend computes the
+            exact integer convolution); only cycle accounting differs.
+    """
+
+    def __init__(
+        self, net: CompiledNetwork, engine: "str | None" = None
+    ) -> None:
         self.net = net
-        self.engine = engine
+        self.stage_backends: "tuple[ComputeBackend, ...]" = \
+            resolve_stage_backends(net, engine)
+        if engine is None:
+            names = {backend.name for backend in self.stage_backends}
+            self.engine = names.pop() if len(names) == 1 else "mixed"
+        else:
+            self.engine = backend_profile(engine).describe()
 
     # ------------------------------------------------------------------
     def run_batch(
@@ -96,9 +112,9 @@ class BatchExecutor:
         records: list[StageResult] = []
         current = images
         total_cycles = 0
-        for stage in self.net.stages:
+        for stage, backend in zip(self.net.stages, self.stage_backends):
             current = self._fit_batch(stage, current, records)
-            current, cycles = self._conv_batched(stage, current)
+            current, cycles = self._conv_batched(stage, current, backend)
             cycles *= images.shape[0]
             total_cycles += cycles
             records.append(
@@ -155,7 +171,7 @@ class BatchExecutor:
 
     # --- conv execution -----------------------------------------------
     def _conv_batched(
-        self, stage: StagePlan, batch: np.ndarray
+        self, stage: StagePlan, batch: np.ndarray, backend: ComputeBackend
     ) -> tuple[np.ndarray, int]:
         """One conv stage over the whole batch; returns per-image
         cycles (the caller scales by batch size)."""
@@ -184,7 +200,7 @@ class BatchExecutor:
             if schedule is not None:
                 group_out = group_out[:, stage.kernel_restores[group]]
             outputs.append(group_out)
-            cycles += self.group_cycles(stage, weights)
+            cycles += self.group_cycles(stage, weights, backend)
         psums = (
             np.concatenate(outputs, axis=1)
             if len(outputs) > 1
@@ -193,20 +209,35 @@ class BatchExecutor:
         return Sdp(stage.sdp).apply_many(psums), cycles
 
     def group_cycles(
-        self, stage: StagePlan, weights: np.ndarray
+        self,
+        stage: StagePlan,
+        weights: np.ndarray,
+        backend: "ComputeBackend | None" = None,
     ) -> int:
-        """Analytic per-image cycles of one layer group — identical to
-        the formula the cores' ``fast`` mode uses (and therefore to the
-        burst/tick simulations, by the equivalence tests).  Uses the
-        *stage* configuration, so each stage is accounted at its own
-        precision under mixed profiles."""
-        config = stage.config
-        layer = stage.layer
-        if self.engine == "binary":
-            atoms = stage_atoms(stage, config) // layer.groups
-            return atoms + config.pipeline_latency
-        per_pixel = int(
-            cached_burst_cycle_map(weights, config, self.net.code).sum()
-        )
-        pixels = layer.out_height * layer.out_width
-        return per_pixel * pixels + config.pipeline_latency + 1
+        """Analytic per-image cycles of one layer group on the stage's
+        backend — identical to the formula the backend's reference core
+        uses (pinned by the equivalence tests).  Value-aware for
+        temporal backends: cycles derive from the actual quantized
+        weight magnitudes via the burst-map machinery, at the *stage*
+        configuration, so each stage is accounted at its own precision
+        (and backend) under mixed profiles."""
+        if backend is None:
+            # Identity lookup first, so an executor constructed with an
+            # engine override accounts its own stages on that override.
+            # (StagePlan equality compares tuples of ndarrays, so
+            # index()/== would be unsafe here.)  Stage copies that are
+            # not part of this program resolve like
+            # resolve_stage_backends: the stage's recorded backend.
+            backend = next(
+                (
+                    candidate
+                    for plan, candidate in zip(
+                        self.net.stages, self.stage_backends
+                    )
+                    if plan is stage
+                ),
+                None,
+            )
+            if backend is None:
+                backend = get_backend(stage.backend or DEFAULT_BACKEND)
+        return backend.layer_cycles(stage, weights, self.net.code)

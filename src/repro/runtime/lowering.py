@@ -48,7 +48,6 @@ untouched.
 from __future__ import annotations
 
 import dataclasses
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,6 +58,7 @@ from repro.errors import DataflowError
 from repro.models.layers import ConvLayerSpec
 from repro.models.weights import QuantizedModel
 from repro.nvdla.config import CoreConfig
+from repro.nvdla.dataflow import conv_atoms
 from repro.nvdla.pdp import PdpConfig
 from repro.nvdla.sdp import SdpConfig, requant_params_from_scale
 from repro.quant.profile import PrecisionProfile
@@ -95,6 +95,9 @@ class StagePlan:
             weights) under the network's precision profile.
         config: the stage's core configuration — the network geometry
             at the stage's precision.
+        backend: registered compute-backend name the stage is
+            accounted on (:mod:`repro.runtime.backends`); None falls
+            back to the executor's default.
     """
 
     name: str
@@ -108,6 +111,7 @@ class StagePlan:
     fit_hw: tuple
     precision: IntSpec
     config: CoreConfig
+    backend: "str | None" = None
 
     @property
     def groups(self) -> int:
@@ -132,6 +136,9 @@ class CompiledNetwork:
         scheduling: whether tile scheduling was applied.
         profile: the per-layer precision recipe the network was
             lowered under.
+        backends: the per-layer compute-backend recipe
+            (:class:`~repro.runtime.backends.BackendProfile`) the
+            network was lowered under; None on pre-registry programs.
     """
 
     name: str
@@ -142,6 +149,7 @@ class CompiledNetwork:
     input_shape: tuple
     scheduling: bool
     profile: PrecisionProfile
+    backends: "object | None" = None
 
     @property
     def output_shape(self) -> tuple:
@@ -263,6 +271,7 @@ def lower_model(
     input_size: int | None = None,
     scheduling: bool = True,
     code: UnaryCode | None = None,
+    backend=None,
 ) -> CompiledNetwork:
     """Compile a quantized zoo model into batched-runtime stages.
 
@@ -277,9 +286,24 @@ def lower_model(
             resolution (e.g. 32 runs a 224x224 topology at 32x32).
         scheduling: apply burst-aware tile scheduling per layer/group.
         code: unary code for latency accounting (default 2s-unary).
+        backend: per-stage compute-backend recipe — anything
+            :func:`repro.runtime.backends.backend_profile` accepts: a
+            registered name (``"binary"``, ``"tempus"``, ``"tugemm"``,
+            ``"tubgemm"``), a ``"first/interior/last"`` mixed spec
+            composing with the precision profile (e.g. binary INT8
+            edges around tubGEMM INT4 interior), or a
+            :class:`~repro.runtime.backends.BackendProfile`.  Defaults
+            to uniform :data:`~repro.runtime.backends.DEFAULT_BACKEND`.
     """
+    # Imported here: backends sits above lowering in the package graph
+    # (it consumes StagePlans), so the module-level import would cycle.
+    from repro.runtime.backends import DEFAULT_BACKEND, backend_profile
+
     if not model.layers:
         raise DataflowError(f"model {model.name!r} has no conv layers")
+    backends = backend_profile(
+        backend if backend is not None else DEFAULT_BACKEND
+    )
     code = code if code is not None else TwosUnaryCode()
     config = (
         config
@@ -346,6 +370,7 @@ def lower_model(
                 fit_hw=(layer.in_height, layer.in_width),
                 precision=stage_precision,
                 config=stage_config,
+                backend=backends.spec_for(index, len(model.layers)),
             )
         )
         previous = (
@@ -364,21 +389,20 @@ def lower_model(
         input_shape=(first.in_channels, first.in_height, first.in_width),
         scheduling=scheduling,
         profile=model.profile,
+        backends=backends,
     )
 
 
 def stage_atoms(stage: StagePlan, config: CoreConfig) -> int:
     """Atoms the CSC issues for one stage (all groups, one image)."""
     layer = stage.layer
-    kernels_per_group = layer.out_channels // layer.groups
-    kernel_groups = math.ceil(kernels_per_group / config.k)
-    channel_blocks = math.ceil(layer.channels_per_group / config.n)
-    per_group = (
-        kernel_groups
-        * layer.out_height
-        * layer.out_width
-        * channel_blocks
-        * layer.kernel_h
-        * layer.kernel_w
+    per_group = conv_atoms(
+        layer.out_channels // layer.groups,
+        layer.channels_per_group,
+        layer.kernel_h,
+        layer.kernel_w,
+        layer.out_height * layer.out_width,
+        config.k,
+        config.n,
     )
     return per_group * layer.groups

@@ -41,8 +41,10 @@ from repro.nvdla.pdp import Pdp
 from repro.nvdla.pipeline import StageResult
 from repro.nvdla.sdp import Sdp
 from repro.quant.profile import precision_profile
-from repro.runtime.executor import BatchExecutor, _ENGINES, \
-    fit_channels, fit_spatial
+from repro.runtime.backends import DEFAULT_BACKEND, backend_profile, \
+    get_backend
+from repro.runtime.executor import BatchExecutor, fit_channels, \
+    fit_spatial
 from repro.runtime.lowering import CompiledNetwork, StagePlan, \
     lower_model
 from repro.unary.encoding import UnaryCode
@@ -55,7 +57,9 @@ class NetworkResult:
 
     Attributes:
         model: zoo model name.
-        engine: "tempus" or "binary".
+        engine: compute-backend name ("tempus", "binary", "tugemm",
+            "tubgemm", ... — see :mod:`repro.runtime.backends`), or a
+            "first/interior/last" spec for mixed-backend networks.
         batch_size: images in the batch.
         output: (B, K, OH, OW) integer logits tensor.
         stages: per-stage execution records (cycles cover the batch).
@@ -106,7 +110,10 @@ class NetworkRunner:
     ) -> None:
         """Args:
         config: MAC-array geometry/precision (defaults to 16x16 INT8).
-        engine: "tempus" or "binary".
+        engine: compute backend — any registered name
+            (:func:`repro.runtime.backends.registered_backends`), a
+            "first/interior/last" mixed spec, or a
+            :class:`~repro.runtime.backends.BackendProfile`.
         scheduling: apply burst-aware tile scheduling when lowering.
         scale: zoo width multiplier in (0, 1].
         input_size: rescaled input resolution (None = native).
@@ -117,8 +124,7 @@ class NetworkRunner:
             When a profile is given, the array geometry is provisioned
             at the profile's widest member (``config`` supplies k/n).
         """
-        if engine not in _ENGINES:
-            raise DataflowError(f"unknown engine {engine!r}")
+        self.backend_profile = backend_profile(engine)
         self.config = config if config is not None else CoreConfig()
         if precision is None:
             self.profile = precision_profile(self.config.precision)
@@ -128,7 +134,7 @@ class NetworkRunner:
                 self.config = self.config.with_precision(
                     self.profile.widest
                 )
-        self.engine = engine
+        self.engine = self.backend_profile.describe()
         self.scheduling = scheduling
         self.scale = scale
         self.input_size = input_size
@@ -151,6 +157,7 @@ class NetworkRunner:
                 input_size=self.input_size,
                 scheduling=self.scheduling,
                 code=self.code,
+                backend=self.backend_profile,
             )
         return self._compiled[model_name]
 
@@ -159,8 +166,10 @@ class NetworkRunner:
         same object the sharded serving workers run, which is what pins
         the two paths bit-identical."""
         if model_name not in self._executors:
+            # engine=None: account on the per-stage backends recorded
+            # at lowering (this runner's backend profile).
             self._executors[model_name] = BatchExecutor(
-                self.compile(model_name), self.engine
+                self.compile(model_name), None
             )
         return self._executors[model_name]
 
@@ -211,12 +220,16 @@ class NetworkRunner:
         batch: "int | np.ndarray",
         mode: str = "fast",
     ) -> NetworkResult:
-        """Reference path: loop images through the real conv cores.
+        """Reference path: loop images through each stage backend's
+        real core (conv cores for tempus/binary, the actual GemmEngine
+        via im2col for tugemm/tubgemm).
 
         Args:
             mode: core execution mode — "fast" (analytic), "burst"
                 (vectorized burst-level simulation) or "cycle"
-                (tick-level; very slow, tiny models only).
+                (tick-level; very slow, tiny models only).  The gemm
+                backends have no simulation modes and accept only
+                "fast".
 
         Stage records carry per-image output shapes (this path runs one
         image at a time) but batch-total cycles, matching :meth:`run`.
@@ -234,8 +247,12 @@ class NetworkRunner:
             image_records: list[StageResult] = []
             for stage in net.stages:
                 current = self._fit_single(stage, current, image_records)
+                key = (
+                    stage.backend or DEFAULT_BACKEND,
+                    stage.precision.width,
+                )
                 current, cycles = self._conv_single(
-                    stage, current, cores[stage.precision.width]
+                    stage, current, cores[key]
                 )
                 total_cycles += cycles
                 image_records.append(
@@ -280,24 +297,18 @@ class NetworkRunner:
         )
 
     # ------------------------------------------------------------------
-    def _make_core(self, config: CoreConfig, code, mode: str):
-        if self.engine == "tempus":
-            from repro.core.tempus_core import TempusCore
-
-            return TempusCore(config, mode=mode, code=code)
-        from repro.nvdla.conv_core import ConvolutionCore
-
-        return ConvolutionCore(config, mode=mode)
-
     def _stage_cores(self, net: CompiledNetwork, mode: str) -> dict:
-        """One real conv core per distinct stage precision — mixed
-        profiles run every stage through a core configured at that
-        stage's format."""
+        """One reference core per distinct (backend, stage precision)
+        — mixed profiles run every stage through its own backend's
+        core, configured at that stage's format."""
         cores: dict = {}
         for stage in net.stages:
-            width = stage.precision.width
-            if width not in cores:
-                cores[width] = self._make_core(
+            # Pre-registry programs may carry backend=None; fall back
+            # exactly like the batched path's resolve_stage_backends.
+            name = stage.backend or DEFAULT_BACKEND
+            key = (name, stage.precision.width)
+            if key not in cores:
+                cores[key] = get_backend(name).make_core(
                     stage.config, net.code, mode
                 )
         return cores

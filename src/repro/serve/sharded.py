@@ -73,7 +73,9 @@ def _worker_main(payload, job_queue, result_queue) -> None:
     Runs in a child process.  ``payload`` is ``(net, engine)`` — with
     the ``fork`` start method it arrives by inheritance, with ``spawn``
     it is pickled.  Every job is executed through the same
-    :class:`BatchExecutor` the single-process runner uses.
+    :class:`BatchExecutor` the single-process runner uses; ``engine``
+    is None so the executor accounts on the per-stage compute backends
+    recorded in the compiled network at lowering.
     """
     net, engine = payload
     executor = BatchExecutor(net, engine)
@@ -108,7 +110,7 @@ class ShardedRunner:
         self,
         workers: int = 2,
         config=None,
-        engine: str = "tempus",
+        engine="tempus",
         scheduling: bool = True,
         scale: float = 1.0,
         input_size: "int | None" = None,
@@ -174,7 +176,9 @@ class ShardedRunner:
                 return
             self.stop()
         net = self.compile(model_name)
-        payload = (net, self.engine)
+        # engine=None: workers account on the per-stage backends the
+        # compiled network carries (the runner's backend profile).
+        payload = (net, None)
         self._result_queue = self._ctx.Queue()
         self._job_queues = []
         self._processes = []

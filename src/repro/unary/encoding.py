@@ -51,6 +51,25 @@ class UnaryCode(ABC):
         mags = np.abs(np.asarray(values, dtype=np.int64))
         return self._cycles_array_from_magnitude(mags)
 
+    def step_cycles(self, magnitude: int) -> int:
+        """Cycles one lockstep array step holds for a streamed operand
+        of this magnitude: the stream length, floored at 1 (an all-zero
+        operand still occupies one issue slot).
+
+        This is *the* magnitude->cycles helper shared by the GEMM
+        engines (:mod:`repro.gemm`), the CSC burst scheduler and the
+        runtime's burst-map accounting, so the gemm-level and
+        runtime-level cycle models cannot drift apart — including at
+        the signed edge values (e.g. -2 at INT2, whose magnitude 2 is
+        *outside* the positive code range but costs exactly one
+        2s-unary step).
+        """
+        return max(1, self.cycles_for_magnitude(abs(int(magnitude))))
+
+    def step_cycles_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`step_cycles` over an integer array."""
+        return np.maximum(self.cycles_array(values), 1)
+
     @abstractmethod
     def _cycles_array_from_magnitude(self, mags: np.ndarray) -> np.ndarray:
         ...

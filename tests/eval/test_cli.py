@@ -208,3 +208,157 @@ class TestServeBenchWorkers:
         assert _worker_sweep(2) == (1, 2)
         assert _worker_sweep(4) == (1, 2, 4)
         assert _worker_sweep(6) == (1, 2, 4, 6)
+
+
+class TestServeBenchBackend:
+    def test_backend_serving_smoke(self, capsys, tmp_path):
+        """The CI leg: serve on a non-default backend; every point is
+        verified bit-identical to the single-process reference inside
+        the driver."""
+        code = main(
+            [
+                "serve-bench",
+                "--quick",
+                "--backend",
+                "tubgemm",
+                "--precision",
+                "int4",
+                "--workers",
+                "2",
+                "--requests",
+                "4",
+                "--models",
+                "resnet18",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(
+            (tmp_path / "BENCH_serving.json").read_text()
+        )
+        assert payload["engine"] == "tubgemm"
+        assert payload["precision_profile"] == "int4"
+        for record in payload["models"]:
+            for sweep in record["workers"]:
+                assert sweep["bit_identical_to_reference"]
+                assert sweep["energy"]["pj_per_image"] > 0
+
+    def test_backend_comparison_writes_backend_artifact(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            [
+                "serve-bench",
+                "--quick",
+                "--backend",
+                "tugemm",
+                "--precision",
+                "int2",
+                "--batch",
+                "2",
+                "--models",
+                "resnet18",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tugemm" in out
+        import json
+
+        payload = json.loads(
+            (tmp_path / "BENCH_backends.json").read_text()
+        )
+        assert payload["backends"] == ["binary", "tugemm"]
+        assert payload["precisions"] == ["int2"]
+
+    def test_unknown_backend_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve-bench",
+                "--quick",
+                "--backend",
+                "warp-drive",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "registered backends" in err
+
+
+class TestCheckResults:
+    def test_repo_results_validate(self, capsys):
+        assert main(["check-results"]) == 0
+        out = capsys.readouterr().out
+        assert "records ok" in out
+
+    def test_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        code = main(["check-results", str(tmp_path / "nope")])
+        assert code == 2
+        assert "check-results failed" in capsys.readouterr().err
+
+    def test_backend_spelling_canonicalized(self, capsys, tmp_path):
+        """--backend TEMPUS is the default backend however spelled:
+        the network benchmark runs, not the comparison sweep."""
+        code = main(
+            [
+                "serve-bench",
+                "--quick",
+                "--backend",
+                "TEMPUS",
+                "--batch",
+                "1",
+                "--models",
+                "resnet18",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_networks.json").exists()
+        assert not (tmp_path / "BENCH_backends.json").exists()
+
+    def test_mixed_backend_requires_workers(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve-bench",
+                "--quick",
+                "--backend",
+                "binary/tubgemm/binary",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_mixed_backend_serves(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve-bench",
+                "--quick",
+                "--backend",
+                "binary/tubgemm/binary",
+                "--workers",
+                "1",
+                "--requests",
+                "2",
+                "--models",
+                "resnet18",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(
+            (tmp_path / "BENCH_serving.json").read_text()
+        )
+        assert payload["engine"] == "binary/tubgemm/binary"

@@ -181,3 +181,64 @@ class TestRandomizedEdgeSweep:
             ):
                 with pytest.raises(PrecisionError):
                     engine.multiply(a, b)
+
+
+class TestSharedMagnitudeHelper:
+    """The gemm-level and runtime-level cycle models share one
+    magnitude->cycles helper (UnaryCode.step_cycles); these regressions
+    pin their agreement at the signed edge values, where the most
+    negative code (-2^(w-1)) carries a magnitude *outside* the positive
+    range (e.g. -2 at INT2 -> magnitude 2)."""
+
+    def test_step_cycles_floor_and_edges(self):
+        from repro.unary.encoding import PureUnaryCode, TwosUnaryCode
+
+        twos = TwosUnaryCode()
+        pure = PureUnaryCode()
+        assert twos.step_cycles(0) == 1  # all-zero step still issues
+        assert pure.step_cycles(0) == 1
+        for spec in PRECISIONS:
+            magnitude = spec.max_magnitude
+            assert twos.step_cycles(magnitude) == (magnitude + 1) // 2
+            assert twos.step_cycles(-magnitude) == (magnitude + 1) // 2
+            assert pure.step_cycles(magnitude) == magnitude
+        assert list(
+            twos.step_cycles_array(np.array([0, 1, 2, -2]))
+        ) == [1, 1, 1, 1]
+
+    @pytest.mark.parametrize("spec", PRECISIONS, ids=lambda s: s.name)
+    def test_gemm_worst_case_equals_runtime_tile_accounting(self, spec):
+        """An all--2^(w-1) weight tile must cost exactly the same on
+        the gemm engines and the runtime's burst map — at INT2 that is
+        ONE 2s-unary cycle (ceil(2/2)), not zero and not two."""
+        from repro.core.latency import burst_cycle_map
+        from repro.nvdla.config import CoreConfig
+
+        k = n = 2
+        config = CoreConfig(k=k, n=n, precision=spec)
+        weights = np.full((k, n, 1, 1), spec.min_value, dtype=np.int64)
+        runtime_tile = int(burst_cycle_map(weights, config).sum())
+        tub = TubGemm(spec)
+        assert runtime_tile == tub.code.step_cycles(spec.max_magnitude)
+        assert runtime_tile == tub.worst_case_cycles(1)
+        assert runtime_tile == spec.worst_case_tub_cycles
+        # The engine on real operands reaches exactly the same count.
+        a = np.full((k, 1), spec.max_value, dtype=np.int64)
+        b = np.full((1, n), spec.min_value, dtype=np.int64)
+        assert tub.multiply(a, b).cycles == runtime_tile
+
+    def test_int2_edge_not_undercounted(self):
+        """-2 at INT2 must cost one full 2s-unary step (magnitude 2),
+        identical everywhere; +1 (the max positive code) costs the
+        same single cycle, so INT2's burst is always exactly 1."""
+        from repro.unary.encoding import TwosUnaryCode
+
+        code = TwosUnaryCode()
+        assert code.cycles_for(-2) == 1
+        assert code.cycles_for(2) == 1
+        assert code.cycles_for(1) == 1
+        assert TubGemm(INT2).worst_case_cycles(5) == 5
+        tu = TuGemm(INT2)
+        a = np.full((1, 1), -2, dtype=np.int64)
+        assert tu.multiply(a, a).cycles == 4  # 2 pulses x 2 replays
+        assert tu.worst_case_cycles(1) == 4

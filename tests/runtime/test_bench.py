@@ -276,3 +276,122 @@ class TestServingBenchmark:
             run_serving_benchmark(requests=0, out_dir=None)
         with pytest.raises(DataflowError):
             run_serving_benchmark(worker_counts=(0,), out_dir=None)
+
+
+class TestBackendBenchmark:
+    @pytest.fixture(scope="class")
+    def backend_payload(self, tmp_path_factory):
+        from repro.runtime.bench import run_backend_benchmark
+
+        out_dir = tmp_path_factory.mktemp("backend-bench")
+        return run_backend_benchmark(
+            models=("mobilenet_v2", "resnet18", "shufflenet_v2"),
+            batch=2,
+            quick=True,
+            config=CoreConfig(k=4, n=4),
+            out_dir=out_dir,
+        )
+
+    def test_artifact_written_and_parseable(self, backend_payload):
+        artifact = backend_payload["artifact"]
+        assert artifact.endswith("BENCH_backends.json")
+        data = json.loads(open(artifact).read())
+        assert data["benchmark"] == "backend_sweep"
+        assert len(data["models"]) == 3
+        assert set(data["backends"]) == {
+            "binary",
+            "tempus",
+            "tugemm",
+            "tubgemm",
+        }
+
+    def test_records_carry_cycles_and_energy(self, backend_payload):
+        """The artifact contract: cycles + pJ/image for every (net,
+        backend, precision) point, bit-identical outputs, tubGEMM
+        strictly below tuGEMM."""
+        for record in backend_payload["models"]:
+            assert len(record["precisions"]) == 3
+            for entry in record["precisions"]:
+                assert entry["outputs_bit_identical"]
+                assert entry["tubgemm_below_tugemm"]
+                for stats in entry["backends"].values():
+                    assert stats["conv_cycles"] > 0
+                    assert stats["energy"]["pj_per_image"] > 0
+                    assert stats["energy"]["clock_mhz"] > 0
+                assert entry["burst_energy"]["energy_gap"] > 0
+
+    def test_temporal_ratio_improves_as_precision_drops(
+        self, backend_payload
+    ):
+        for record in backend_payload["models"]:
+            by_precision = {
+                entry["precision"]: entry
+                for entry in record["precisions"]
+            }
+            for backend in ("tempus", "tubgemm", "tugemm"):
+                ratios = [
+                    by_precision[p]["vs_binary_cycles"][backend]
+                    for p in ("int8", "int4", "int2")
+                ]
+                assert ratios[0] > ratios[1] > ratios[2], (
+                    backend,
+                    ratios,
+                )
+
+    def test_energy_flat_for_binary_dropping_for_temporal(
+        self, backend_payload
+    ):
+        for record in backend_payload["models"]:
+            entries = {
+                entry["precision"]: entry
+                for entry in record["precisions"]
+            }
+            binary_pj = {
+                entries[p]["backends"]["binary"]["energy"]["pj_per_image"]
+                for p in ("int8", "int4", "int2")
+            }
+            assert len(binary_pj) == 1
+            tempus_pj = [
+                entries[p]["backends"]["tempus"]["energy"]["pj_per_image"]
+                for p in ("int8", "int4", "int2")
+            ]
+            assert tempus_pj[0] > tempus_pj[1] > tempus_pj[2]
+
+    def test_render_mentions_every_backend(self, backend_payload):
+        from repro.runtime.bench import render_backend_benchmark
+
+        text = render_backend_benchmark(backend_payload)
+        for backend in ("binary", "tempus", "tugemm", "tubgemm"):
+            assert backend in text
+        assert "pJ/image" in text
+
+    def test_duplicate_backends_rejected(self):
+        from repro.runtime.bench import run_backend_benchmark
+
+        with pytest.raises(DataflowError):
+            run_backend_benchmark(
+                backends=("binary", "BINARY"), out_dir=None
+            )
+
+    def test_empty_backends_rejected(self):
+        from repro.runtime.bench import run_backend_benchmark
+
+        with pytest.raises(DataflowError):
+            run_backend_benchmark(backends=(), out_dir=None)
+
+
+class TestEnergyInDrivers:
+    def test_network_benchmark_records_energy(self):
+        payload = run_network_benchmark(
+            models=("resnet18",),
+            batch=1,
+            quick=True,
+            config=CoreConfig(k=4, n=4),
+            out_dir=None,
+        )
+        record = payload["models"][0]
+        for engine in ("tempus", "binary"):
+            energy = record["engines"][engine]["energy"]
+            assert energy["pj_per_image"] > 0
+            assert energy["deployed_precision"] == "INT8"
+        assert record["tempus_vs_binary_energy"] > 0

@@ -30,6 +30,16 @@ FUZZ_MODELS = (
 #: Precision profiles the fuzzer draws from: the three uniform paper
 #: precisions plus the standard mixed edge recipe.
 FUZZ_PRECISIONS = ("int8", "int4", "int2", "mixed")
+#: Compute backends the fuzzer draws from: all four registered MAC-unit
+#: designs plus a mixed per-stage recipe (binary edges, tubGEMM
+#: interior) — outputs must be backend-independent on every path.
+FUZZ_BACKENDS = (
+    "tempus",
+    "binary",
+    "tugemm",
+    "tubgemm",
+    "binary/tubgemm/binary",
+)
 TINY = dict(scale=0.06, input_size=16)
 
 
@@ -37,7 +47,9 @@ def _random_scenario(fuzz_rng):
     """Draw one serving scenario from the seeded fuzz stream."""
     return {
         "model": FUZZ_MODELS[int(fuzz_rng.integers(len(FUZZ_MODELS)))],
-        "engine": ("tempus", "binary")[int(fuzz_rng.integers(2))],
+        "engine": FUZZ_BACKENDS[
+            int(fuzz_rng.integers(len(FUZZ_BACKENDS)))
+        ],
         "batch": int(fuzz_rng.integers(1, 6)),
         "max_batch": int(fuzz_rng.integers(1, 5)),
         "k": int(2 ** fuzz_rng.integers(1, 3)),
@@ -100,7 +112,7 @@ def test_sharded_equals_single_process_and_per_image(
         ), context
 
 
-@pytest.mark.parametrize("engine", ["tempus", "binary"])
+@pytest.mark.parametrize("engine", ["tempus", "binary", "tubgemm"])
 @pytest.mark.parametrize("precision", FUZZ_PRECISIONS)
 def test_precision_profiles_three_way_equivalence(
     fuzz_rng, precision, engine
