@@ -14,6 +14,9 @@ Usage::
                                              # serve on another backend
     python -m repro serve-bench --backend tugemm
                                              # binary-vs-backend sweep
+    python -m repro serve-bench --workers 2 --fault-rate 0.15
+                                             # chaos serving (seeded
+                                             # deterministic faults)
     python -m repro check-results results/   # validate BENCH artifacts
 """
 
@@ -134,6 +137,30 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     server.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "inject deterministic faults (crash/slow/transient error) "
+            "into the shard workers with this per-(job, attempt) "
+            "probability; every point is still verified bit-identical "
+            "to the single-process reference (default: 0; only with "
+            "--workers)"
+        ),
+    )
+    server.add_argument(
+        "--fault-seed",
+        type=int,
+        default=110,
+        metavar="SEED",
+        help=(
+            "seed of the deterministic fault plan, so chaos runs "
+            "replay exactly (default: 110; only with "
+            "--fault-rate)"
+        ),
+    )
+    server.add_argument(
         "--out",
         default="results",
         help="artifact directory (default: results/)",
@@ -188,6 +215,19 @@ def _serve_bench(args) -> int:
         from repro.runtime.backends import backend_profile
 
         backend = backend_profile(args.backend)
+        if not 0.0 <= args.fault_rate <= 1.0:
+            print(
+                "serve-bench failed: --fault-rate must be in [0, 1]",
+                file=sys.stderr,
+            )
+            return 2
+        if args.fault_rate > 0.0 and args.workers is None:
+            print(
+                "serve-bench failed: --fault-rate injects faults into "
+                "the sharded serving runtime; add --workers N",
+                file=sys.stderr,
+            )
+            return 2
         if args.workers is not None:
             if args.workers < 1:
                 print(
@@ -217,6 +257,8 @@ def _serve_bench(args) -> int:
                 max_batch=args.max_batch,
                 precision=args.precision,
                 engine=backend.describe(),
+                fault_rate=args.fault_rate,
+                fault_seed=args.fault_seed,
                 out_dir=args.out,
             )
             rendered = render_serving_benchmark(payload)

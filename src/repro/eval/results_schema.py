@@ -95,6 +95,27 @@ def _backend_records(payload: dict) -> list:
     return records
 
 
+def _fault_records(payload: dict) -> list:
+    backend = payload.get("engine", "tempus")
+    precision = payload.get("precision_profile", "int8")
+    records = []
+    for model in payload["models"]:
+        for point in model["points"]:
+            if not point["completed"]:
+                raise DataflowError(
+                    f"fault-tolerance record for {model['model']} at "
+                    f"rate {point['fault_rate']} reports an aborted "
+                    "stream"
+                )
+            records.append(
+                _record(
+                    model["model"], backend, precision,
+                    point["conv_cycles"],
+                )
+            )
+    return records
+
+
 def _engine_speed_records(payload: list) -> list:
     # Pre-schema trajectory entries carry the layer geometry but no
     # explicit net/backend/precision; the microbenchmark has always
@@ -118,6 +139,7 @@ NORMALIZERS = {
     "BENCH_precision.json": _precision_records,
     "BENCH_backends.json": _backend_records,
     "BENCH_engine.json": _engine_speed_records,
+    "BENCH_faults.json": _fault_records,
 }
 
 

@@ -314,6 +314,9 @@ def run_serving_benchmark(
     max_wait: float = 0.002,
     repeats: int = 3,
     precision="int8",
+    fault_rate: float = 0.0,
+    fault_seed: int = 110,
+    job_deadline: "float | None" = None,
     out_dir: "str | Path | None" = "results",
 ) -> dict:
     """Benchmark the sharded serving runtime across worker counts.
@@ -348,14 +351,39 @@ def run_serving_benchmark(
         max_batch / max_wait: dynamic-batching knobs.
         repeats: best-of-N wall-clock repeats per worker count.
         precision: per-layer precision profile served.
+        fault_rate: probability a (job, attempt) draws an injected
+            fault (crash / slow / transient error) — the chaos knob.
+            Every point is still verified bit-identical to the
+            single-process reference; the supervisor's recovery
+            telemetry lands on each record.
+        fault_seed: seed of the deterministic fault plan.
+        job_deadline: hang/slow detection deadline in seconds
+            (defaults to 2.0 when faults are injected).
         out_dir: where BENCH_serving.json is written (None = don't).
 
     Returns:
         the record written to the artifact.
     """
-    from repro.serve import ShardedRunner
+    from repro.serve import FaultPlan, ShardedRunner
 
     _check_models(models)
+    fault_plan = None
+    if fault_rate > 0.0:
+        # Hangs are exercised by the dedicated fault-tolerance bench;
+        # the serving sweep injects the cheap-to-recover kinds so the
+        # timing numbers stay dominated by serving, not by deadlines.
+        # Same kind tuple (and order) as the fault-tolerance bench:
+        # the rate-based kind draw indexes into this tuple, so keeping
+        # it identical means one fault seed names one schedule across
+        # both drivers.
+        fault_plan = FaultPlan.random(
+            fault_seed,
+            fault_rate,
+            kinds=DEFAULT_FAULT_KINDS,
+            slow_seconds=0.02,
+        )
+        if job_deadline is None:
+            job_deadline = 2.0
     # Canonical backend-profile spelling: validates the name(s) up
     # front and keeps the JSON payload a plain string.
     engine = backend_profile(engine).describe()
@@ -400,6 +428,8 @@ def run_serving_benchmark(
                 max_batch=max_batch,
                 max_wait=max_wait,
                 precision=profile,
+                fault_plan=fault_plan,
+                job_deadline=job_deadline,
             ) as server:
                 server.start(name)
                 server.run(name, requests)  # warm up pool + caches
@@ -435,6 +465,7 @@ def run_serving_benchmark(
             record["speedup_vs_one_worker"] = float(
                 result.conv_cycles / max(makespan, 1)
             )
+            record["health"] = result.health
             sweep.append(record)
         model_records.append(
             {
@@ -469,6 +500,8 @@ def run_serving_benchmark(
         "repeats": int(repeats),
         "clock_hz": SERVING_CLOCK_HZ,
         "worker_counts": [int(count) for count in worker_counts],
+        "fault_rate": float(fault_rate),
+        "fault_seed": int(fault_seed) if fault_rate > 0.0 else None,
         "models": model_records,
     }
     if out_dir is not None:
@@ -502,7 +535,7 @@ def render_serving_benchmark(payload: dict) -> str:
                 )
             )
     config = payload["config"]
-    return format_table(
+    table = format_table(
         [
             "model",
             "workers",
@@ -520,6 +553,293 @@ def render_serving_benchmark(payload: dict) -> str:
             f"{payload.get('precision_layers', config['precision'])} "
             f"(scale {payload['scale']}, input {payload['input_size']}, "
             f"max_batch {payload['max_batch']})"
+        ),
+    )
+    if payload.get("fault_rate", 0.0) > 0.0:
+        totals = {
+            "restarts": 0,
+            "redispatched": 0,
+            "retries": 0,
+            "degraded_jobs": 0,
+        }
+        for record in payload["models"]:
+            for sweep in record["workers"]:
+                for counter in totals:
+                    totals[counter] += sweep["health"][counter]
+        table += (
+            f"\n\nfault injection: rate {payload['fault_rate']:g} "
+            f"(seed {payload['fault_seed']}) — every point completed "
+            "bit-identical; recovery totals: "
+            + ", ".join(
+                f"{counter}={count}"
+                for counter, count in totals.items()
+            )
+        )
+    return table
+
+
+#: Fault-tolerance benchmark defaults: injected crash-dominated fault
+#: rates swept at every worker count.  0.0 is the degradation
+#: baseline; >= 0.10 satisfies the "sustained completion under >= 10%
+#: crash rate" artifact contract.
+DEFAULT_FAULT_RATES = (0.0, 0.1, 0.25)
+DEFAULT_FAULT_KINDS = ("crash", "error", "slow")
+
+
+def run_fault_tolerance_benchmark(
+    models: "tuple[str, ...] | list[str]" = ("mobilenet_v2",),
+    worker_counts: "tuple[int, ...] | list[int]" = DEFAULT_WORKER_COUNTS,
+    fault_rates: "tuple[float, ...] | list[float]" = DEFAULT_FAULT_RATES,
+    requests: int = 24,
+    fault_seed: int = 110,
+    kinds: "tuple[str, ...]" = DEFAULT_FAULT_KINDS,
+    quick: bool = False,
+    scheduling: bool = True,
+    config: CoreConfig | None = None,
+    engine: str = "tempus",
+    max_batch: int = 4,
+    precision="int8",
+    job_deadline: float = 2.0,
+    out_dir: "str | Path | None" = "results",
+) -> dict:
+    """Chaos benchmark: serving under injected faults
+    (``results/BENCH_faults.json``).
+
+    For every (model, worker count, fault rate) point a seeded
+    deterministic :class:`~repro.serve.faults.FaultPlan` is injected
+    into the shard workers and the stream is served to completion.
+    Three things are recorded per point:
+
+    * **correctness** — outputs and cycle totals verified bit-identical
+      to the single-process :class:`NetworkRunner` reference (the
+      stream is never aborted: crashes are redispatched, hung shards
+      killed by deadline, a collapsed pool degrades in-process);
+    * **degradation** — simulated makespan and host wall time relative
+      to the same worker count's fault-free point (redispatching
+      skews work onto surviving shards, so the makespan grows with
+      the crash rate);
+    * **recovery telemetry** — the supervisor's health counters
+      (restarts, retries, redispatches, deadline misses, degraded
+      jobs).
+
+    Args:
+        models: zoo model names.
+        worker_counts: shard-pool sizes to sweep.
+        fault_rates: injected fault probabilities per (job, attempt).
+        requests: single-image requests per stream.
+        fault_seed: seed of the deterministic fault plans.
+        kinds: fault kinds the plans draw (hang is exercised by the
+            chaos test suite; including it here multiplies wall time
+            by the deadline per hang).
+        quick: smaller width/resolution preset for smoke runs.
+        scheduling: apply burst-aware tile scheduling when lowering.
+        config: array geometry (defaults to 16x16 INT8).
+        engine: compute backend served.
+        max_batch: dynamic-batching coalescing limit.
+        precision: per-layer precision profile served.
+        job_deadline: hang/slow detection deadline in seconds.
+        out_dir: where BENCH_faults.json is written (None = don't).
+
+    Returns:
+        the record written to the artifact.
+    """
+    from repro.serve import FaultPlan, ShardedRunner
+
+    _check_models(models)
+    engine = backend_profile(engine).describe()
+    if requests < 1:
+        raise DataflowError("requests must be >= 1")
+    if any(rate < 0.0 or rate > 1.0 for rate in fault_rates):
+        raise DataflowError("fault rates must be in [0, 1]")
+    worker_counts = tuple(
+        sorted(dict.fromkeys(int(count) for count in worker_counts))
+    )
+    config = config if config is not None else CoreConfig()
+    profile = precision_profile(precision)
+    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
+
+    reference_runner = NetworkRunner(
+        config,
+        engine=engine,
+        scheduling=scheduling,
+        scale=scale,
+        input_size=input_size,
+        precision=profile,
+    )
+    config = reference_runner.config  # profile may widen the geometry
+
+    model_records = []
+    for name in models:
+        reference = reference_runner.run(name, requests)
+        points = []
+        baselines: dict = {}  # workers -> fault-free point
+        for workers in worker_counts:
+            for rate in fault_rates:
+                plan = (
+                    FaultPlan.random(
+                        fault_seed,
+                        rate,
+                        kinds=kinds,
+                        slow_seconds=0.02,
+                    )
+                    if rate > 0.0
+                    else None
+                )
+                with ShardedRunner(
+                    workers=workers,
+                    config=config,
+                    engine=engine,
+                    scheduling=scheduling,
+                    scale=scale,
+                    input_size=input_size,
+                    max_batch=max_batch,
+                    precision=profile,
+                    fault_plan=plan,
+                    job_deadline=(
+                        job_deadline if plan is not None else None
+                    ),
+                ) as server:
+                    server.start(name)
+                    # Warm pool + burst maps on a clean stream so the
+                    # timed run measures recovery, not compilation.
+                    server.run(name, max_batch)
+                    result, seconds = measure(
+                        lambda: server.run(name, requests)
+                    )
+                identical = bool(
+                    np.array_equal(result.output, reference.output)
+                    and result.conv_cycles == reference.conv_cycles
+                )
+                if not identical:
+                    raise DataflowError(
+                        f"{name}: sharded run with {workers} "
+                        f"worker(s) at fault rate {rate} diverged "
+                        "from the single-process reference"
+                    )
+                health = result.health
+                makespan = max(
+                    result.makespan_cycles,
+                    health.get("degraded_cycles", 0),
+                )
+                point = {
+                    "workers": int(workers),
+                    "fault_rate": float(rate),
+                    "completed": True,
+                    "bit_identical_to_reference": identical,
+                    "conv_cycles": int(result.conv_cycles),
+                    "jobs": int(result.jobs),
+                    "makespan_cycles": int(makespan),
+                    "requests_per_second": float(
+                        requests_per_second(
+                            requests, makespan / SERVING_CLOCK_HZ
+                        )
+                    ),
+                    "wall_seconds": float(seconds),
+                    "host_images_per_second": float(
+                        requests_per_second(requests, seconds)
+                    ),
+                    "health": health,
+                }
+                baseline = baselines.get(workers)
+                if rate == 0.0 and baseline is None:
+                    baselines[workers] = point
+                elif baseline is not None:
+                    # > 1.0 means faults stretched the metric.
+                    point["makespan_degradation"] = float(
+                        makespan / max(baseline["makespan_cycles"], 1)
+                    )
+                    point["wall_degradation"] = float(
+                        seconds / max(baseline["wall_seconds"], 1e-9)
+                    )
+                points.append(point)
+        model_records.append(
+            {
+                "model": name,
+                "requests": int(requests),
+                "reference_conv_cycles": int(reference.conv_cycles),
+                "points": points,
+                "all_streams_completed": all(
+                    point["completed"] for point in points
+                ),
+            }
+        )
+
+    payload = {
+        "benchmark": "fault_tolerance",
+        "engine": engine,
+        "config": {
+            "k": config.k,
+            "n": config.n,
+            "precision": config.precision.name,
+        },
+        "precision_profile": profile.name,
+        "quick": bool(quick),
+        "scheduling": bool(scheduling),
+        "scale": scale,
+        "input_size": input_size,
+        "max_batch": int(max_batch),
+        "job_deadline": float(job_deadline),
+        "fault_seed": int(fault_seed),
+        "fault_kinds": list(kinds),
+        "fault_rates": [float(rate) for rate in fault_rates],
+        "clock_hz": SERVING_CLOCK_HZ,
+        "worker_counts": [int(count) for count in worker_counts],
+        "models": model_records,
+    }
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        artifact = out_path / "BENCH_faults.json"
+        artifact.write_text(json.dumps(payload, indent=2) + "\n")
+        payload["artifact"] = str(artifact)
+    return payload
+
+
+def render_fault_tolerance_benchmark(payload: dict) -> str:
+    """Human-readable summary of a fault-tolerance payload."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for record in payload["models"]:
+        for point in record["points"]:
+            health = point["health"]
+            rows.append(
+                (
+                    record["model"],
+                    point["workers"],
+                    f"{point['fault_rate']:.2f}",
+                    f"{point['makespan_cycles']:,}",
+                    f"{point.get('makespan_degradation', 1.0):.2f}x",
+                    health["restarts"],
+                    health["redispatched"],
+                    health["retries"],
+                    health["degraded_jobs"],
+                    "yes"
+                    if point["bit_identical_to_reference"]
+                    else "NO",
+                )
+            )
+    config = payload["config"]
+    return format_table(
+        [
+            "model",
+            "workers",
+            "fault rate",
+            "makespan cycles",
+            "vs fault-free",
+            "restarts",
+            "redisp",
+            "retries",
+            "degraded",
+            "bit-identical",
+        ],
+        rows,
+        title=(
+            f"fault tolerance ({payload['engine']}) on "
+            f"{config['k']}x{config['n']} {config['precision']} "
+            f"(seed {payload['fault_seed']}, "
+            f"kinds {'/'.join(payload['fault_kinds'])}, "
+            f"deadline {payload['job_deadline']}s)"
         ),
     )
 

@@ -1,18 +1,32 @@
 """Sharded multi-worker serving on top of :mod:`repro.runtime`.
 
 - :class:`~repro.serve.queue.RequestQueue` — dynamic-batching
-  front-end (max-batch / max-wait coalescing, submission-order seqs).
+  front-end (max-batch / max-wait coalescing, submission-order seqs,
+  bounded depth with block/reject admission control).
 - :class:`~repro.serve.sharded.ShardedRunner` — compile once, fork N
   shard workers, dispatch coalesced batches round-robin, reassemble
   bit-identical results.
+- :class:`~repro.serve.supervisor.ShardSupervisor` — worker
+  supervision: dead/hung-shard detection, capped-backoff respawn,
+  retry/redispatch with deadlines and duplicate discard, graceful
+  degradation to in-process execution.
+- :class:`~repro.serve.faults.FaultPlan` — seeded, deterministic
+  fault injection (crash / hang / slow / transient error) so chaos
+  runs replay exactly.
 """
 
+from repro.serve.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.serve.queue import Request, RequestQueue
 from repro.serve.sharded import ShardedResult, ShardedRunner
+from repro.serve.supervisor import ShardSupervisor
 
 __all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
     "Request",
     "RequestQueue",
     "ShardedResult",
     "ShardedRunner",
+    "ShardSupervisor",
 ]

@@ -7,6 +7,20 @@ as soon as ``max_batch`` requests are waiting, or when ``max_wait``
 seconds have passed since the batch's first request arrived — the
 classic throughput/latency knob of serving front-ends.
 
+The queue is optionally **bounded** (``max_pending``) with an explicit
+admission-control policy for saturation, so a stalled or slow consumer
+sheds load instead of growing the pending list without bound:
+
+* ``"block"`` — submitters wait for space (backpressure; the default,
+  and what :class:`~repro.serve.sharded.ShardedRunner` uses so no
+  request of a stream is ever lost);
+* ``"reject"`` — a full queue raises :class:`DataflowError`
+  immediately (load shedding for open-loop front-ends).
+
+Depth telemetry (:meth:`RequestQueue.stats`) records the high
+watermark, rejected and blocked submissions for the serving tier's
+health report.
+
 Each request carries a monotonically increasing sequence number, so the
 dispatcher can scatter coalesced batches across shards in any order and
 results are still reassembled into exact submission order.
@@ -21,6 +35,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import DataflowError
+
+#: Admission-control policies a bounded queue supports.
+ADMISSION_POLICIES = ("block", "reject")
 
 
 @dataclass(frozen=True)
@@ -46,44 +63,114 @@ class RequestQueue:
     """Coalesce single-image requests into dispatchable batches."""
 
     def __init__(
-        self, max_batch: int = 8, max_wait: float = 0.002
+        self,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        max_pending: "int | None" = None,
+        admission: str = "block",
     ) -> None:
         """Args:
         max_batch: largest batch a shard receives (>= 1).
         max_wait: seconds to hold an open batch for stragglers.
+        max_pending: queue-depth bound (>= 1); None = unbounded.
+        admission: saturation policy for a bounded queue — "block"
+            (submitters wait for space) or "reject" (a full queue
+            raises :class:`DataflowError`).
         """
         if max_batch < 1:
             raise DataflowError("max_batch must be >= 1")
         if max_wait < 0:
             raise DataflowError("max_wait must be >= 0")
+        if max_pending is not None and max_pending < 1:
+            raise DataflowError("max_pending must be >= 1 (or None)")
+        if admission not in ADMISSION_POLICIES:
+            raise DataflowError(
+                f"admission policy must be one of "
+                f"{', '.join(ADMISSION_POLICIES)}, got {admission!r}"
+            )
         self.max_batch = max_batch
         self.max_wait = max_wait
+        self.max_pending = max_pending
+        self.admission = admission
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
         self._pending: list[Request] = []
         self._next_seq = 0
         self._closed = False
+        self._submitted = 0
+        self._rejected = 0
+        self._blocked = 0
+        self._high_watermark = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._pending)
 
     def submit(self, image: np.ndarray) -> int:
-        """Enqueue one image; returns its sequence number."""
+        """Enqueue one image; returns its sequence number.
+
+        Raises:
+            DataflowError: the queue is closed, or it is full under
+                the "reject" admission policy.
+        """
         with self._lock:
             if self._closed:
-                raise DataflowError("queue is closed")
+                raise DataflowError(
+                    "request queue is closed — submit() after close() "
+                    "is not accepted"
+                )
+            if self._full():
+                if self.admission == "reject":
+                    self._rejected += 1
+                    raise DataflowError(
+                        f"request queue full ({self.max_pending} "
+                        "pending): request rejected by admission "
+                        "control"
+                    )
+                self._blocked += 1
+                while self._full() and not self._closed:
+                    self._space.wait()
+                if self._closed:
+                    raise DataflowError(
+                        "request queue closed while waiting for space"
+                    )
             request = Request(self._next_seq, image)
             self._next_seq += 1
             self._pending.append(request)
+            self._submitted += 1
+            self._high_watermark = max(
+                self._high_watermark, len(self._pending)
+            )
             self._ready.notify()
             return request.seq
 
     def close(self) -> None:
-        """Stop accepting requests; pending batches still drain."""
+        """Stop accepting requests; pending batches still drain
+        (exactly once — see :meth:`next_batch`)."""
         with self._lock:
             self._closed = True
             self._ready.notify_all()
+            self._space.notify_all()
+
+    def stats(self) -> dict:
+        """Admission/depth telemetry snapshot."""
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "rejected": self._rejected,
+                "blocked": self._blocked,
+                "depth_high_watermark": self._high_watermark,
+                "max_pending": self.max_pending,
+                "admission": self.admission,
+                "pending": len(self._pending),
+            }
+
+    def _full(self) -> bool:
+        return (
+            self.max_pending is not None
+            and len(self._pending) >= self.max_pending
+        )
 
     def next_batch(self) -> "list[Request] | None":
         """Block until a coalesced batch is ready.
@@ -94,6 +181,10 @@ class RequestQueue:
         pass after its first request *arrived* (the ``submit()``
         timestamp) — a dispatcher that was busy elsewhere cannot extend
         a request's coalescing window beyond the contract.
+
+        After :meth:`close`, remaining requests drain exactly once:
+        each pending request appears in exactly one returned batch,
+        and every later call returns ``None``.
         """
         with self._ready:
             while not self._pending and not self._closed:
@@ -114,4 +205,5 @@ class RequestQueue:
     def _take(self, count: int) -> list[Request]:
         batch = self._pending[:count]
         del self._pending[:count]
+        self._space.notify_all()
         return batch

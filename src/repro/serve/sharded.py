@@ -7,9 +7,10 @@ process (:func:`~repro.runtime.lowering.lower_model`) and ships the
 lowered program to N worker processes, each holding its own
 :class:`~repro.runtime.executor.BatchExecutor`.  A dynamic-batching
 front-end (:class:`~repro.serve.queue.RequestQueue`) coalesces
-single-image requests into batches and a dispatcher thread scatters
-them round-robin across the shards; results are reassembled by request
-sequence number.
+single-image requests into batches and a dispatcher thread hands them
+to a :class:`~repro.serve.supervisor.ShardSupervisor`, which scatters
+them round-robin across healthy shards; results are reassembled by
+request sequence number.
 
 Because every shard executes the *same* ``BatchExecutor`` code path as
 the in-process :class:`~repro.runtime.runner.NetworkRunner`, and both
@@ -17,9 +18,15 @@ outputs and analytic cycle counts are independent of how a request
 stream is split into batches (images are data-independent; per-stage
 cycles are ``per_image_cycles * B``), a sharded run is bit-identical —
 outputs *and* cycles — to ``NetworkRunner.run`` on the equivalent
-batch.  The randomized differential suite
-(``tests/serve/test_sharded_equivalence.py``) fuzzes exactly that
-claim across nets, batch sizes and worker counts.
+batch.  That invariant survives faults: the supervisor respawns dead
+and hung workers, redispatches their lost jobs (recomputed
+deterministically), discards late duplicates, and degrades to
+in-process execution through the same executor when the pool collapses
+— so any fault schedule that leaves one live execution path still
+yields the bit-identical stream.  The randomized differential suites
+(``tests/serve/test_sharded_equivalence.py`` and the chaos suite
+``tests/serve/test_fault_tolerance.py``) fuzz exactly that claim
+across nets, batch sizes, worker counts and seeded fault plans.
 
 Start methods: ``fork`` (default where available) inherits the compiled
 program and a warm burst-map cache copy-on-write; ``spawn`` pickles the
@@ -31,9 +38,11 @@ first use.  Both are safe — see the cache notes in
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
-from dataclasses import dataclass
-from queue import Empty
+import time
+import traceback
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -43,6 +52,7 @@ from repro.runtime.executor import BatchExecutor
 from repro.runtime.lowering import CompiledNetwork
 from repro.runtime.runner import NetworkResult, NetworkRunner
 from repro.serve.queue import Request, RequestQueue
+from repro.serve.supervisor import ShardSupervisor
 
 
 @dataclass(frozen=True)
@@ -50,16 +60,23 @@ class ShardedResult(NetworkResult):
     """A :class:`NetworkResult` plus the shard-level dispatch record.
 
     Attributes:
-        shard_cycles: per-shard total conv cycles (sums to
-            ``conv_cycles``).  The shards model *replicated* compute
-            units running in parallel, so the request stream's
-            simulated completion time is the max over shards — the
-            makespan — not the sum.
+        shard_cycles: per-shard total conv cycles, attributed to the
+            shard that *completed* each job (fault-free runs sum to
+            ``conv_cycles``; degraded-mode cycles live in
+            ``health["degraded_cycles"]``).  The shards model
+            *replicated* compute units running in parallel, so the
+            request stream's simulated completion time is the max over
+            shards — the makespan — not the sum.
         jobs: number of coalesced batches dispatched.
+        health: supervisor/queue telemetry for the stream — restarts,
+            retries, redispatched jobs, deadline misses, degraded-mode
+            jobs/cycles, duplicate results discarded, worker errors,
+            and the admission-control stats of the request queue.
     """
 
     shard_cycles: tuple = ()
     jobs: int = 0
+    health: dict = field(default_factory=dict)
 
     @property
     def makespan_cycles(self) -> int:
@@ -67,7 +84,9 @@ class ShardedResult(NetworkResult):
         return max(self.shard_cycles) if self.shard_cycles else 0
 
 
-def _worker_main(payload, job_queue, result_queue) -> None:
+def _worker_main(
+    payload, shard_index, job_queue, result_queue, fault_plan=None
+) -> None:
     """Shard worker loop: execute dispatched batches until poisoned.
 
     Runs in a child process.  ``payload`` is ``(net, engine)`` — with
@@ -76,6 +95,17 @@ def _worker_main(payload, job_queue, result_queue) -> None:
     :class:`BatchExecutor` the single-process runner uses; ``engine``
     is None so the executor accounts on the per-stage compute backends
     recorded in the compiled network at lowering.
+
+    When a :class:`~repro.serve.faults.FaultPlan` is given, the worker
+    consults it before every job and acts the scheduled fault out:
+    ``crash`` hard-exits before reporting, ``hang`` sleeps without
+    ever reporting the job, ``slow`` sleeps then reports normally and
+    ``error`` reports a transient failure.  The plan is a pure
+    function of (shard, job, attempt), so chaos runs replay exactly.
+
+    Failures are reported with ``traceback.format_exc()`` — the full
+    worker-side stack — so the parent's :class:`DataflowError` names
+    the failing stage and line instead of a bare ``repr``.
     """
     net, engine = payload
     executor = BatchExecutor(net, engine)
@@ -83,21 +113,61 @@ def _worker_main(payload, job_queue, result_queue) -> None:
         job = job_queue.get()
         if job is None:
             break
-        job_id, images = job
+        job_id, attempt, images = job
+        fault = (
+            fault_plan.fault_for(shard_index, job_id, attempt)
+            if fault_plan is not None
+            else None
+        )
+        if fault is not None:
+            if fault.kind == "crash":
+                # Crash *before* the result ships — models OOM kills
+                # and native crashes; only the supervisor's liveness
+                # probe can recover the job.
+                os._exit(13)
+            if fault.kind == "hang":
+                time.sleep(fault.seconds)
+                continue  # never report: a deadlocked shard
+            if fault.kind == "error":
+                result_queue.put(
+                    (
+                        shard_index,
+                        job_id,
+                        attempt,
+                        None,
+                        f"injected transient fault on shard "
+                        f"{shard_index} (job {job_id}, attempt "
+                        f"{attempt})",
+                    )
+                )
+                continue
+            time.sleep(fault.seconds)  # slow
         try:
             record = executor.run_job(np.asarray(images))
-            result_queue.put((job_id, record, None))
-        except Exception as error:  # surface, don't hang the parent
-            result_queue.put((job_id, None, repr(error)))
+            result_queue.put(
+                (shard_index, job_id, attempt, record, None)
+            )
+        except Exception:  # surface, don't hang the parent
+            result_queue.put(
+                (
+                    shard_index,
+                    job_id,
+                    attempt,
+                    None,
+                    traceback.format_exc(),
+                )
+            )
 
 
 class ShardedRunner:
-    """Serve single-image requests across N worker processes.
+    """Serve single-image requests across N supervised worker
+    processes.
 
     The runner mirrors :class:`NetworkRunner`'s constructor knobs (it
     delegates compilation and input synthesis to one internally) and
     adds the serving-specific ones: worker count, dynamic-batching
-    limits and the multiprocessing start method.
+    limits, admission control, the multiprocessing start method, and
+    the fault-tolerance policy the supervisor enforces.
 
     Usage::
 
@@ -119,12 +189,71 @@ class ShardedRunner:
         max_wait: float = 0.002,
         start_method: "str | None" = None,
         precision=None,
+        max_pending: "int | None" = None,
+        admission: str = "block",
+        fault_plan=None,
+        job_deadline: "float | None" = None,
+        max_restarts: int = 3,
+        restart_backoff: float = 0.05,
+        min_live: int = 1,
+        max_attempts: int = 5,
     ) -> None:
+        """Serving-specific args (see :class:`NetworkRunner` for the
+        rest):
+
+        max_pending / admission: bound the request queue's depth and
+            pick the saturation policy ("block" applies backpressure
+            to submitters, "reject" sheds load with a
+            :class:`DataflowError`).
+        fault_plan: a :class:`~repro.serve.faults.FaultPlan` every
+            worker consults (deterministic chaos injection).
+        job_deadline: seconds a dispatched batch may stay in flight
+            before its shard is declared hung and the batch is
+            redispatched (None disables hang detection; required when
+            the fault plan can schedule hangs).
+        max_restarts / restart_backoff: per-stream restart budget per
+            shard and the base of the capped exponential respawn
+            backoff.
+        min_live: pool floor — below it the stream degrades to
+            in-process execution instead of failing.
+        max_attempts: dispatch attempts per batch before the
+            supervisor stops trusting the pool with it.
+        """
         if workers < 1:
             raise DataflowError("workers must be >= 1")
+        if admission not in ("block", "reject"):
+            raise DataflowError(
+                f"admission policy must be 'block' or 'reject', "
+                f"got {admission!r}"
+            )
+        if (
+            fault_plan is not None
+            and job_deadline is None
+            and (
+                "hang" in getattr(fault_plan, "kinds", ())
+                and getattr(fault_plan, "rate", 0.0) > 0.0
+                or any(
+                    spec.kind == "hang"
+                    for spec in getattr(fault_plan, "faults", ())
+                )
+            )
+        ):
+            raise DataflowError(
+                "a fault plan that can schedule 'hang' faults needs a "
+                "job_deadline — hung shards are only detectable by "
+                "deadline"
+            )
         self.workers = workers
         self.max_batch = max_batch
         self.max_wait = max_wait
+        self.max_pending = max_pending
+        self.admission = admission
+        self.fault_plan = fault_plan
+        self.job_deadline = job_deadline
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.min_live = min_live
+        self.max_attempts = max_attempts
         self._runner = NetworkRunner(
             config,
             engine=engine,
@@ -145,9 +274,7 @@ class ShardedRunner:
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
         self._model: "str | None" = None
-        self._processes: list = []
-        self._job_queues: list = []
-        self._result_queue = None
+        self._supervisor: "ShardSupervisor | None" = None
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -159,6 +286,18 @@ class ShardedRunner:
         """The resolved per-layer precision profile served."""
         return self._runner.profile
 
+    @property
+    def supervisor(self) -> "ShardSupervisor | None":
+        """The live shard supervisor (None before :meth:`start`)."""
+        return self._supervisor
+
+    @property
+    def _processes(self) -> list:
+        """Live worker process handles (diagnostics/tests)."""
+        if self._supervisor is None:
+            return []
+        return self._supervisor.processes
+
     def compile(self, model_name: str) -> CompiledNetwork:
         """Lower (and cache) one zoo model in the parent process."""
         return self._runner.compile(model_name)
@@ -169,9 +308,9 @@ class ShardedRunner:
         return self._runner.synthesize_batch(model_name, batch_size)
 
     def start(self, model_name: str) -> None:
-        """Fork the shard pool for one model (compile happens here,
-        once, in the parent)."""
-        if self._processes:
+        """Spawn the supervised shard pool for one model (compile
+        happens here, once, in the parent)."""
+        if self._supervisor is not None:
             if self._model == model_name:
                 return
             self.stop()
@@ -179,38 +318,34 @@ class ShardedRunner:
         # engine=None: workers account on the per-stage backends the
         # compiled network carries (the runner's backend profile).
         payload = (net, None)
-        self._result_queue = self._ctx.Queue()
-        self._job_queues = []
-        self._processes = []
-        for _ in range(self.workers):
-            job_queue = self._ctx.Queue()
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(payload, job_queue, self._result_queue),
-                daemon=True,
-            )
-            process.start()
-            self._job_queues.append(job_queue)
-            self._processes.append(process)
+        # The degraded path runs the parent's own executor — the same
+        # BatchExecutor code path the shards run, so degraded batches
+        # stay bit-identical in outputs and cycles.
+        fallback = self._runner.executor(model_name).run_job
+        self._supervisor = ShardSupervisor(
+            self._ctx,
+            payload,
+            self.workers,
+            _worker_main,
+            fault_plan=self.fault_plan,
+            job_deadline=self.job_deadline,
+            max_restarts=self.max_restarts,
+            restart_backoff=self.restart_backoff,
+            min_live=self.min_live,
+            max_attempts=self.max_attempts,
+            fallback=fallback,
+        )
         self._model = model_name
 
     def stop(self) -> None:
-        """Drain and join the shard pool."""
-        for job_queue in self._job_queues:
-            job_queue.put(None)
-        for process in self._processes:
-            process.join(timeout=30)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5)
-        for job_queue in self._job_queues:
-            job_queue.close()
-        if self._result_queue is not None:
-            self._result_queue.close()
-        self._processes = []
-        self._job_queues = []
-        self._result_queue = None
+        """Drain and join the shard pool.  Idempotent: safe to call
+        repeatedly and after partial failures (the supervisor guards
+        every teardown step)."""
+        supervisor = self._supervisor
+        self._supervisor = None
         self._model = None
+        if supervisor is not None:
+            supervisor.stop()
 
     def close(self) -> None:
         self.stop()
@@ -221,35 +356,11 @@ class ShardedRunner:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    def _collect_result(self) -> tuple:
-        """Next worker result, watching for shards that died without
-        reporting (hard kill, OOM, native crash): a dead shard raises
-        instead of hanging the parent on the result queue."""
-        while True:
-            try:
-                return self._result_queue.get(timeout=1.0)
-            except Empty:
-                dead = [
-                    index
-                    for index, process in enumerate(self._processes)
-                    if not process.is_alive()
-                ]
-                if dead:
-                    codes = [
-                        self._processes[index].exitcode
-                        for index in dead
-                    ]
-                    self.stop()
-                    raise DataflowError(
-                        f"shard worker(s) {dead} died without "
-                        f"reporting (exit codes {codes})"
-                    )
-
     # -- serving -------------------------------------------------------
     def run(
         self, model_name: str, batch: "int | np.ndarray"
     ) -> NetworkResult:
-        """Serve a request stream and return a :class:`NetworkResult`.
+        """Serve a request stream and return a :class:`ShardedResult`.
 
         Args:
             model_name: zoo model name.
@@ -260,13 +371,35 @@ class ShardedRunner:
 
         The result's output rows are in request-submission order and
         its cycle totals are bit-identical to the single-process
-        batched run over the same images.
+        batched run over the same images — including under injected or
+        real faults, as long as the supervisor retains one live
+        execution path (worst case: the in-process degraded fallback).
+
+        The shard pool is released on every error path; a successful
+        run leaves the pool warm for the next stream.
         """
         self.start(model_name)
+        try:
+            return self._run_stream(model_name, batch)
+        except BaseException:
+            # Release the pool on *every* error path (including
+            # KeyboardInterrupt) so no worker or queue feeder thread
+            # outlives a failed stream.
+            self.stop()
+            raise
+
+    def _run_stream(
+        self, model_name: str, batch: "int | np.ndarray"
+    ) -> ShardedResult:
+        supervisor = self._supervisor
+        supervisor.begin_stream()
         net = self._runner.compile(model_name)
         images = self._runner._as_batch(net, model_name, batch)
         queue = RequestQueue(
-            max_batch=self.max_batch, max_wait=self.max_wait
+            max_batch=self.max_batch,
+            max_wait=self.max_wait,
+            max_pending=self.max_pending,
+            admission=self.admission,
         )
         jobs: dict[int, list[Request]] = {}
         dispatch_errors: list[BaseException] = []
@@ -278,18 +411,13 @@ class ShardedRunner:
                     coalesced = queue.next_batch()
                     if coalesced is None:
                         return
-                    shard = job_id % len(self._job_queues)
-                    self._job_queues[shard].put(
-                        (
-                            job_id,
-                            np.stack(
-                                [request.image for request in coalesced]
-                            ),
-                        )
-                    )
-                    # Record only after a successful put: the collector
-                    # waits for exactly the jobs that actually shipped.
                     jobs[job_id] = coalesced
+                    supervisor.submit(
+                        job_id,
+                        np.stack(
+                            [request.image for request in coalesced]
+                        ),
+                    )
                     job_id += 1
             except BaseException as error:
                 dispatch_errors.append(error)
@@ -301,7 +429,6 @@ class ShardedRunner:
         queue.close()
         dispatcher.join()
         if dispatch_errors:
-            self.stop()
             raise DataflowError(
                 f"dispatcher failed: {dispatch_errors[0]!r}"
             )
@@ -310,23 +437,20 @@ class ShardedRunner:
         stage_cycles: "list[int] | None" = None
         stage_meta = None
         total_cycles = 0
-        shard_cycles = [0] * len(self._job_queues)
+        shard_cycles = [0] * supervisor.workers
+        degraded_cycles = 0
         cache_hits = 0
         cache_misses = 0
         for _ in range(len(jobs)):
-            job_id, record, error = self._collect_result()
-            if error is not None:
-                self.stop()
-                raise DataflowError(
-                    f"shard worker failed on job {job_id}: {error}"
-                )
+            job_id, shard_index, record = supervisor.next_result()
             requests = jobs[job_id]
             for row, request in enumerate(requests):
                 outputs[request.seq] = record["output"][row]
             total_cycles += record["conv_cycles"]
-            shard_cycles[job_id % len(shard_cycles)] += record[
-                "conv_cycles"
-            ]
+            if shard_index is None:
+                degraded_cycles += record["conv_cycles"]
+            else:
+                shard_cycles[shard_index] += record["conv_cycles"]
             cache_hits += record["cache"]["hits"]
             cache_misses += record["cache"]["misses"]
             if stage_cycles is None:
@@ -351,6 +475,11 @@ class ShardedRunner:
                 stage_meta, stage_cycles
             )
         )
+        health = supervisor.health()
+        health["degraded_cycles"] = int(degraded_cycles)
+        health["queue"] = queue.stats()
+        if self.fault_plan is not None:
+            health["fault_plan"] = self.fault_plan.describe()
         lookups = cache_hits + cache_misses
         return ShardedResult(
             model=net.name,
@@ -367,4 +496,5 @@ class ShardedRunner:
             },
             shard_cycles=tuple(shard_cycles),
             jobs=len(jobs),
+            health=health,
         )

@@ -12,6 +12,9 @@ randomized failure can be replayed with
 """
 
 import os
+import signal
+import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -67,6 +70,51 @@ def pytest_runtest_makereport(item, call):
                 f"pytest {item.nodeid!r})",
             )
         )
+
+
+# ---------------------------------------------------------------------
+# Hang watchdog for the serving suites.  The multi-process serving
+# tests coordinate workers, queues and deadlines; a supervision bug
+# tends to show up as an *indefinite block* on a queue, which would
+# stall the whole suite instead of failing one test.  Every test under
+# tests/serve/ therefore runs under a SIGALRM deadline
+# (``SERVE_TEST_TIMEOUT`` seconds, default 120; 0 disables) that trips
+# with the active randomized seed in the message, so a hung chaos test
+# is reported as an ordinary replayable failure.
+SERVE_TEST_TIMEOUT = float(os.environ.get("SERVE_TEST_TIMEOUT", "120"))
+
+
+def _wants_watchdog(item) -> bool:
+    return (
+        SERVE_TEST_TIMEOUT > 0
+        and hasattr(signal, "SIGALRM")  # unix only
+        and threading.current_thread() is threading.main_thread()
+        and "serve" in Path(str(item.fspath)).parts
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not _wants_watchdog(item):
+        yield
+        return
+
+    def _trip(signum, frame):
+        raise TimeoutError(
+            f"serve-test watchdog: {item.nodeid} still running after "
+            f"{SERVE_TEST_TIMEOUT:g}s — likely a hung worker or queue "
+            f"deadlock.  Replay with PYTEST_SEED={PYTEST_SEED} "
+            f"pytest {item.nodeid!r} (raise/disable via the "
+            "SERVE_TEST_TIMEOUT env var)."
+        )
+
+    previous = signal.signal(signal.SIGALRM, _trip)
+    signal.setitimer(signal.ITIMER_REAL, SERVE_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,181 @@
+"""Unit tests for the deterministic fault-injection plans.
+
+The chaos suite's value rests on one property: a
+:class:`~repro.serve.faults.FaultPlan` is a pure function of its
+constructor arguments, so any chaos failure replays exactly from the
+seed.  These tests pin that purity plus the liveness floor
+(``clean_after``) and the explicit-spec matching rules the supervisor
+tests rely on.
+"""
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.serve import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        draws = [
+            [
+                FaultPlan.random(97, 0.5).fault_for(0, job, attempt)
+                for job in range(32)
+                for attempt in range(2)
+            ]
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_schedule_is_shard_independent(self):
+        """Rate-based draws are keyed on (job, attempt) only, so a
+        job's fate does not depend on which shard it lands on after
+        earlier recoveries — the schedule replays across pool
+        reshuffles."""
+        plan = FaultPlan.random(7, 0.6)
+        for job in range(16):
+            faults = {
+                plan.fault_for(shard, job, 0) for shard in range(4)
+            }
+            assert len(faults) == 1
+
+    def test_different_seeds_differ(self):
+        def schedule(seed):
+            plan = FaultPlan.random(seed, 0.5)
+            return tuple(
+                getattr(plan.fault_for(0, job, 0), "kind", None)
+                for job in range(64)
+            )
+
+        assert len({schedule(seed) for seed in range(8)}) > 1
+
+    def test_rate_zero_never_faults(self):
+        plan = FaultPlan(seed=3, rate=0.0)
+        assert not plan
+        assert all(
+            plan.fault_for(0, job, attempt) is None
+            for job in range(32)
+            for attempt in range(3)
+        )
+
+    def test_rate_one_faults_every_eligible_attempt(self):
+        plan = FaultPlan.random(5, 1.0)
+        assert plan
+        assert all(
+            plan.fault_for(0, job, 0) is not None for job in range(16)
+        )
+
+
+class TestLiveness:
+    def test_clean_after_floor_guarantees_progress(self):
+        """Even at rate 1.0, attempts at/past clean_after are clean —
+        every job retains a live execution path."""
+        plan = FaultPlan.random(5, 1.0, clean_after=2)
+        for job in range(16):
+            assert plan.fault_for(0, job, 2) is None
+            assert plan.fault_for(0, job, 5) is None
+
+    def test_explicit_specs_override_the_floor(self):
+        # The degradation tests crash *every* attempt to collapse the
+        # pool; explicit schedules must not be throttled.
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="crash", job=None, attempt=None),)
+        )
+        assert plan.fault_for(0, 9, 99).kind == "crash"
+
+    def test_injected_sleep_lengths(self):
+        plan = FaultPlan.random(
+            11, 1.0, kinds=("hang",), hang_seconds=12.5
+        )
+        assert plan.fault_for(0, 0, 0).seconds == 12.5
+        plan = FaultPlan.random(
+            11, 1.0, kinds=("slow",), slow_seconds=0.25
+        )
+        assert plan.fault_for(0, 0, 0).seconds == 0.25
+
+
+class TestExplicitSpecs:
+    def test_exact_job_attempt_match(self):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="error", job=3, attempt=1),)
+        )
+        assert plan.fault_for(0, 3, 1).kind == "error"
+        assert plan.fault_for(0, 3, 0) is None
+        assert plan.fault_for(0, 2, 1) is None
+
+    def test_shard_pinned_spec(self):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="crash", job=0, shard=1),)
+        )
+        assert plan.fault_for(1, 0, 0) is not None
+        assert plan.fault_for(0, 0, 0) is None
+
+    def test_wildcards_match_everything(self):
+        spec = FaultSpec(kind="hang", job=None, attempt=None)
+        assert spec.matches(0, 0, 0)
+        assert spec.matches(3, 17, 4)
+
+    def test_explicit_specs_win_over_rate_draws(self):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="hang", job=0),),
+            seed=5,
+            rate=1.0,
+            kinds=("crash",),
+        )
+        assert plan.fault_for(0, 0, 0).kind == "hang"
+        assert plan.fault_for(0, 1, 0).kind == "crash"
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DataflowError, match="unknown fault kind"):
+            FaultSpec(kind="meteor", job=0)
+        with pytest.raises(DataflowError, match="unknown fault kind"):
+            FaultPlan(rate=0.5, kinds=("crash", "meteor"))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(DataflowError, match="rate"):
+            FaultPlan(rate=1.5)
+        with pytest.raises(DataflowError, match="rate"):
+            FaultPlan(rate=-0.1)
+
+    def test_bad_clean_after_rejected(self):
+        with pytest.raises(DataflowError, match="clean_after"):
+            FaultPlan(rate=0.5, clean_after=0)
+
+    def test_negative_spec_fields_rejected(self):
+        with pytest.raises(DataflowError):
+            FaultSpec(kind="crash", job=-1)
+        with pytest.raises(DataflowError):
+            FaultSpec(kind="crash", job=0, attempt=-1)
+        with pytest.raises(DataflowError):
+            FaultSpec(kind="slow", job=0, seconds=-1.0)
+
+    def test_rate_without_kinds_rejected(self):
+        with pytest.raises(DataflowError, match="fault kind"):
+            FaultPlan(rate=0.5, kinds=())
+
+    def test_every_registered_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(kind=kind, job=0).kind == kind
+
+
+class TestDescribe:
+    def test_empty_plan(self):
+        assert FaultPlan().describe() == "no faults"
+
+    def test_rate_plan_names_seed_and_kinds(self):
+        text = FaultPlan.random(
+            42, 0.25, kinds=("crash", "error")
+        ).describe()
+        assert "rate=0.25" in text
+        assert "seed=42" in text
+        assert "crash/error" in text
+
+    def test_scheduled_specs_counted(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind="crash", job=0),
+                FaultSpec(kind="hang", job=1),
+            )
+        )
+        assert "2 scheduled" in plan.describe()

@@ -103,11 +103,28 @@ class TestCloseSemantics:
         assert len(batch) == 1
         assert queue.next_batch() is None
 
-    def test_submit_after_close_rejected(self):
+    def test_submit_after_close_rejected_with_clear_message(self):
         queue = RequestQueue(max_batch=2, max_wait=0.01)
         queue.close()
-        with pytest.raises(DataflowError):
+        with pytest.raises(
+            DataflowError, match="closed.*submit\\(\\) after close\\(\\)"
+        ):
             queue.submit(_image(0))
+
+    def test_close_drains_exactly_once(self):
+        """Every pending request appears in exactly one batch after
+        close, and every later call returns None — no request is lost,
+        duplicated, or resurrected."""
+        queue = RequestQueue(max_batch=2, max_wait=0.01)
+        for value in range(5):
+            queue.submit(_image(value))
+        queue.close()
+        seqs = []
+        while (batch := queue.next_batch()) is not None:
+            seqs.extend(request.seq for request in batch)
+        assert seqs == list(range(5))
+        for _ in range(3):
+            assert queue.next_batch() is None
 
     def test_close_wakes_blocked_consumer(self):
         queue = RequestQueue(max_batch=2, max_wait=60.0)
@@ -125,6 +142,96 @@ class TestCloseSemantics:
         assert seen == [None]
 
 
+class TestAdmissionControl:
+    def test_reject_policy_sheds_load_when_full(self):
+        queue = RequestQueue(
+            max_batch=4, max_wait=0.01, max_pending=2,
+            admission="reject",
+        )
+        queue.submit(_image(0))
+        queue.submit(_image(1))
+        with pytest.raises(DataflowError, match="admission control"):
+            queue.submit(_image(2))
+        stats = queue.stats()
+        assert stats["rejected"] == 1
+        assert stats["submitted"] == 2
+
+    def test_reject_accepts_again_after_drain(self):
+        queue = RequestQueue(
+            max_batch=1, max_wait=0.0, max_pending=1,
+            admission="reject",
+        )
+        queue.submit(_image(0))
+        with pytest.raises(DataflowError):
+            queue.submit(_image(1))
+        assert len(queue.next_batch()) == 1
+        assert queue.submit(_image(2)) == 1  # seq keeps counting
+
+    def test_block_policy_applies_backpressure(self):
+        """A full "block" queue makes submitters wait for space; the
+        consumer taking a batch releases them."""
+        queue = RequestQueue(
+            max_batch=1, max_wait=0.0, max_pending=1,
+            admission="block",
+        )
+        queue.submit(_image(0))
+        done = []
+
+        def submit_blocked():
+            queue.submit(_image(1))
+            done.append(True)
+
+        submitter = threading.Thread(target=submit_blocked)
+        submitter.start()
+        time.sleep(0.05)
+        assert not done  # still waiting for space
+        assert queue.next_batch() is not None
+        submitter.join(timeout=5)
+        assert done == [True]
+        assert queue.stats()["blocked"] == 1
+
+    def test_close_wakes_blocked_submitter_with_error(self):
+        queue = RequestQueue(
+            max_batch=1, max_wait=0.0, max_pending=1,
+            admission="block",
+        )
+        queue.submit(_image(0))
+        errors = []
+
+        def submit_blocked():
+            try:
+                queue.submit(_image(1))
+            except DataflowError as error:
+                errors.append(error)
+
+        submitter = threading.Thread(target=submit_blocked)
+        submitter.start()
+        time.sleep(0.05)
+        queue.close()
+        submitter.join(timeout=5)
+        assert len(errors) == 1
+        assert "closed while waiting" in str(errors[0])
+
+    def test_depth_high_watermark_tracked(self):
+        queue = RequestQueue(max_batch=8, max_wait=0.01)
+        for value in range(5):
+            queue.submit(_image(value))
+        queue.next_batch()
+        stats = queue.stats()
+        assert stats["depth_high_watermark"] == 5
+        assert stats["pending"] == 0
+        assert stats["max_pending"] is None
+        assert stats["admission"] == "block"
+
+    def test_unbounded_queue_never_blocks_or_rejects(self):
+        queue = RequestQueue(max_batch=2, max_wait=0.01)
+        for value in range(64):
+            queue.submit(_image(value))
+        stats = queue.stats()
+        assert stats["blocked"] == 0
+        assert stats["rejected"] == 0
+
+
 class TestValidation:
     def test_bad_max_batch_rejected(self):
         with pytest.raises(DataflowError):
@@ -133,6 +240,14 @@ class TestValidation:
     def test_bad_max_wait_rejected(self):
         with pytest.raises(DataflowError):
             RequestQueue(max_wait=-1.0)
+
+    def test_bad_max_pending_rejected(self):
+        with pytest.raises(DataflowError):
+            RequestQueue(max_pending=0)
+
+    def test_bad_admission_policy_rejected(self):
+        with pytest.raises(DataflowError, match="admission policy"):
+            RequestQueue(admission="drop-oldest")
 
     def test_len_reports_pending(self):
         queue = RequestQueue(max_batch=4, max_wait=0.01)

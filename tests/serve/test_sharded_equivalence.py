@@ -221,13 +221,13 @@ def test_bad_requests_rejected_before_dispatch():
             server.run("resnet18", np.zeros((2, 5, 4, 4), np.int64))
 
 
-def test_dead_worker_raises_instead_of_hanging():
+def test_dead_worker_recovers_instead_of_failing():
     """A shard killed without reporting (hard kill / OOM / native
-    crash) must surface as an error, not an indefinite block on the
-    result queue."""
-    from repro.errors import DataflowError
-
+    crash) must not hang or abort the stream: the supervisor respawns
+    it and the run completes bit-identical, with restart telemetry.
+    (Until PR 6 this scenario aborted the whole request stream.)"""
     config = CoreConfig(k=4, n=4)
+    runner = NetworkRunner(config, engine="tempus", **TINY)
     with ShardedRunner(
         workers=1, config=config, engine="tempus", **TINY
     ) as server:
@@ -235,21 +235,34 @@ def test_dead_worker_raises_instead_of_hanging():
         for process in server._processes:
             process.terminate()
             process.join(timeout=30)
-        with pytest.raises(DataflowError, match="died"):
-            server._collect_result()
+        sharded = server.run("resnet18", 4)
+    reference = runner.run("resnet18", 4)
+    assert np.array_equal(sharded.output, reference.output)
+    assert sharded.conv_cycles == reference.conv_cycles
+    assert sharded.health["restarts"] >= 1
 
 
-def test_worker_failure_surfaces_as_error():
-    """A crashing shard reports back instead of hanging the parent:
-    the worker loop catches executor exceptions and ships them to the
-    result queue (exercised here by handing a shard a malformed job)."""
+def test_worker_failure_surfaces_full_traceback():
+    """Regression: a worker-side executor failure must ship the full
+    ``traceback.format_exc()`` — naming the failing function and line
+    inside the executor — not a bare ``repr`` of the exception.  A
+    malformed job is handed straight to the supervisor (bypassing the
+    parent-side validation that normally rejects it) so the failure
+    happens inside the worker."""
+    from repro.errors import DataflowError
+
     config = CoreConfig(k=4, n=4)
     with ShardedRunner(
-        workers=1, config=config, engine="tempus", **TINY
+        workers=1, config=config, engine="tempus", max_attempts=1,
+        **TINY,
     ) as server:
         server.start("resnet18")
-        server._job_queues[0].put((0, np.zeros((1, 2), np.int64)))
-        job_id, record, error = server._result_queue.get(timeout=30)
-        assert job_id == 0
-        assert record is None
-        assert error  # repr of the worker-side exception
+        server.supervisor.begin_stream()
+        server.supervisor.submit(0, np.zeros((1, 2), np.int64))
+        with pytest.raises(DataflowError) as excinfo:
+            server.supervisor.next_result()
+    message = str(excinfo.value)
+    assert "Traceback (most recent call last)" in message
+    assert "run_job" in message  # the failing worker entry point
+    assert "executor.py" in message
+    assert ", line " in message  # file/line context, not a repr
