@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Design-space autotuner benchmark (BENCH_pareto.json).
+
+Searches the backend x precision x array-geometry grid for one
+network: every assignment is evaluated through the generic sweep
+harness (simulated cycles + deployed-array energy), priced in silicon
+area via the synthesis model, filtered against an optional SLO, and
+dominated designs are pruned.  Writes ``results/BENCH_pareto.json``
+with the three-objective Pareto frontier (cycles/image vs pJ/image vs
+mm^2).  Contract: the frontier is non-empty, carries no dominated
+point, and spans >= 3 distinct (backend, precision, geometry)
+assignments on the default grid.
+
+Run directly::
+
+    python benchmarks/bench_pareto_tune.py           # full preset
+    python benchmarks/bench_pareto_tune.py --quick   # CI-sized
+    python benchmarks/bench_pareto_tune.py --net resnet18 --slo-pj 2e6
+
+or through pytest (quick preset)::
+
+    pytest benchmarks/bench_pareto_tune.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.tune.autotune import (
+    Slo,
+    dominates,
+    render_pareto_tune,
+    run_pareto_tune,
+)
+from repro.tune.spec import (
+    DEFAULT_TUNE_BACKENDS,
+    DEFAULT_TUNE_GEOMETRIES,
+    DEFAULT_TUNE_PRECISIONS,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run(
+    net: str = "mobilenet_v2",
+    backends=DEFAULT_TUNE_BACKENDS,
+    precisions=DEFAULT_TUNE_PRECISIONS,
+    geometries=DEFAULT_TUNE_GEOMETRIES,
+    slo: "Slo | None" = None,
+    quick: bool = False,
+    write: bool = True,
+) -> dict:
+    payload = run_pareto_tune(
+        net=net,
+        backends=backends,
+        precisions=precisions,
+        geometries=geometries,
+        slo=slo,
+        quick=quick,
+        out_dir=RESULTS_DIR if write else None,
+    )
+    # Contract checks: a non-empty frontier of SLO-feasible,
+    # mutually non-dominated designs drawn from the explored grid.
+    frontier = payload["frontier"]
+    assert frontier
+    assert payload["explored"] >= payload["feasible"] >= len(frontier)
+    for point in frontier:
+        assert point["meets_slo"]
+        assert point["cycles_per_image"] > 0
+        assert point["pj_per_image"] > 0
+        assert point["area_mm2"] > 0
+        assert not any(
+            dominates(other, point)
+            for other in frontier
+            if other is not point
+        )
+    return payload
+
+
+def test_pareto_tune_quick():
+    """Tracked invariant: the default grid's frontier is dominance-free
+    and spans >= 3 distinct (backend, precision, geometry)
+    assignments."""
+    payload = run(quick=True, write=False)
+    assignments = {
+        (
+            point["backend"],
+            point["precision"],
+            point["geometry"]["k"],
+            point["geometry"]["n"],
+        )
+        for point in payload["frontier"]
+    }
+    assert len(assignments) >= 3
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--net",
+        default="mobilenet_v2",
+        help="zoo model to tune for (default: mobilenet_v2)",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=list(DEFAULT_TUNE_BACKENDS),
+        help=(
+            "backends / mixes to consider "
+            f"(default: {' '.join(DEFAULT_TUNE_BACKENDS)})"
+        ),
+    )
+    parser.add_argument(
+        "--precisions",
+        nargs="+",
+        default=list(DEFAULT_TUNE_PRECISIONS),
+        help=(
+            "precision profiles to consider "
+            f"(default: {' '.join(DEFAULT_TUNE_PRECISIONS)})"
+        ),
+    )
+    parser.add_argument(
+        "--geometries",
+        nargs="+",
+        default=list(DEFAULT_TUNE_GEOMETRIES),
+        help=(
+            "array geometries KxN to consider "
+            f"(default: {' '.join(DEFAULT_TUNE_GEOMETRIES)})"
+        ),
+    )
+    parser.add_argument(
+        "--slo-cycles",
+        type=float,
+        default=None,
+        help="cycles-per-image budget",
+    )
+    parser.add_argument(
+        "--slo-pj",
+        type=float,
+        default=None,
+        help="pJ-per-image budget",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized preset"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip the JSON artifact"
+    )
+    args = parser.parse_args()
+    payload = run(
+        net=args.net,
+        backends=tuple(args.backends),
+        precisions=tuple(args.precisions),
+        geometries=tuple(args.geometries),
+        slo=Slo(
+            max_cycles_per_image=args.slo_cycles,
+            max_pj_per_image=args.slo_pj,
+        ),
+        quick=args.quick,
+        write=not args.no_write,
+    )
+    print(render_pareto_tune(payload))
+    if "artifact" in payload:
+        print(f"\nwrote {payload['artifact']}")
+    else:
+        print("\n" + json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -116,6 +116,55 @@ def _fault_records(payload: dict) -> list:
     return records
 
 
+def _pareto_records(payload: dict) -> list:
+    # The autotuner's contract is structural, not just field-level:
+    # the frontier must be a subset of the explored points with no
+    # dominated (or SLO-violating) entry — a dominated "frontier"
+    # point means the pruning is broken, so the artifact is rejected.
+    from repro.tune.autotune import OBJECTIVES, dominates
+
+    points = payload["points"]
+    frontier = payload["frontier"]
+    if not frontier:
+        raise DataflowError(
+            "pareto artifact carries an empty frontier"
+        )
+    explored = {
+        tuple(point[objective] for objective in OBJECTIVES)
+        for point in points
+    }
+    for point in frontier:
+        if not point["meets_slo"]:
+            raise DataflowError(
+                f"frontier point {point['label']} violates the "
+                f"recorded SLO {payload['slo']}"
+            )
+        vector = tuple(
+            point[objective] for objective in OBJECTIVES
+        )
+        if vector not in explored:
+            raise DataflowError(
+                f"frontier point {point['label']} is not among the "
+                "explored points"
+            )
+        for other in frontier:
+            if other is not point and dominates(other, point):
+                raise DataflowError(
+                    f"frontier point {point['label']} is dominated "
+                    f"by {other['label']} — the Pareto pruning is "
+                    "broken"
+                )
+    return [
+        _record(
+            point["net"],
+            point["backend"],
+            point["precision"],
+            point["cycles"],
+        )
+        for point in points
+    ]
+
+
 def _engine_speed_records(payload: list) -> list:
     # Pre-schema trajectory entries carry the layer geometry but no
     # explicit net/backend/precision; the microbenchmark has always
@@ -140,6 +189,7 @@ NORMALIZERS = {
     "BENCH_backends.json": _backend_records,
     "BENCH_engine.json": _engine_speed_records,
     "BENCH_faults.json": _fault_records,
+    "BENCH_pareto.json": _pareto_records,
 }
 
 

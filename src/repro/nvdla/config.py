@@ -8,6 +8,7 @@ single-cell (k=1) slices across INT2/INT4/INT8.
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, field
 
 from repro.errors import DataflowError
@@ -37,6 +38,17 @@ class CoreConfig:
     burst_overhead: int = 0
 
     def __post_init__(self) -> None:
+        for name in ("k", "n", "pipeline_latency", "burst_overhead"):
+            value = getattr(self, name)
+            # bool is an Integral subtype, but CoreConfig(k=True) is a
+            # caller bug, not a 1x1 array.
+            if isinstance(value, bool) or not isinstance(
+                value, numbers.Integral
+            ):
+                raise DataflowError(
+                    f"{name} must be an integer, got {value!r}"
+                )
+            object.__setattr__(self, name, int(value))
         if self.k < 1:
             raise DataflowError(f"k must be >= 1, got {self.k}")
         if self.n < 1:

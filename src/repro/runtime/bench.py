@@ -1,6 +1,12 @@
 """Network-, serving- and precision-level inference benchmarks.
 
-One measurement harness, three drivers:
+The drivers here are thin spec-builders: each one declares its sweep
+as a :class:`~repro.tune.spec.SweepSpec` (nets x backends x precisions
+x geometries) and executes it through the generic
+:class:`~repro.tune.harness.SweepHarness`, which owns the presets,
+runner caching, the warm-then-measure timing protocol, energy records
+and artifact writing.  What stays in each driver is its
+claim-specific logic:
 
 * :func:`run_network_benchmark` — single-process batched inference on
   both convolution engines (``results/BENCH_networks.json``):
@@ -18,20 +24,19 @@ One measurement harness, three drivers:
   precision drops (binary cycle cost is precision-independent; tub
   bursts shorten with the weights), plus a sharded-serving
   bit-identity verification at a low-precision point.
+* :func:`run_backend_benchmark` — the compute-backend sweep
+  (``results/BENCH_backends.json``) across every registered MAC-unit
+  design.
 
-All drivers accept a ``precision`` profile, time work through
-:func:`measure` (best-of-``repeats`` wall clock) and report engine
-records through :func:`_engine_record`, so single-worker,
-multi-worker and cross-precision numbers are directly comparable.
 Shared by ``python -m repro serve-bench [--workers N] [--precision P]``
 and the ``benchmarks/bench_network_inference.py`` /
-``bench_serving.py`` / ``bench_precision_sweep.py`` scripts.
+``bench_serving.py`` / ``bench_precision_sweep.py`` scripts.  The
+design-space autotuner (``python -m repro tune``) drives the same
+harness from :mod:`repro.tune.autotune`.
 """
 
 from __future__ import annotations
 
-import json
-import time
 from pathlib import Path
 
 import numpy as np
@@ -39,110 +44,38 @@ import numpy as np
 from repro.core.latency import burst_map_cache_stats, \
     cached_burst_cycle_map
 from repro.errors import DataflowError
-from repro.eval.throughput import images_per_million_cycles, \
-    requests_per_second
-from repro.models.zoo import MODEL_NAMES
+from repro.eval.throughput import requests_per_second
 from repro.nvdla.config import CoreConfig
-from repro.profiling.energy import network_energy, workload_energy
+from repro.profiling.energy import workload_energy
 from repro.quant.profile import precision_profile
-from repro.runtime.backends import backend_profile, get_backend, \
-    resolve_stage_backends
-from repro.runtime.runner import NetworkRunner
+from repro.runtime.backends import get_backend
+from repro.tune.harness import (
+    FULL_PRESET,
+    QUICK_PRESET,
+    SweepHarness,
+    engine_record,
+    energy_record,
+    measure,
+    write_benchmark_artifact,
+)
+from repro.tune.spec import (
+    DEFAULT_BACKEND_PRECISIONS,
+    DEFAULT_BACKEND_SWEEP,
+    DEFAULT_MODELS,
+    DEFAULT_PRECISION_SWEEP,
+    DEFAULT_SERVING_MODELS,
+    DEFAULT_WORKER_COUNTS,
+    SweepSpec,
+    check_models,
+)
+from repro.utils.tables import Column, render_columns, yes_no
 
-#: Default benchmark workload: the two Table-I models with the most
-#: dissimilar structure (depthwise-heavy vs dense-residual).
-DEFAULT_MODELS = ("mobilenet_v2", "resnet18")
-
-#: Serving benchmark default workload (>= 3 nets, per the artifact
-#: contract) and worker sweep.
-DEFAULT_SERVING_MODELS = ("mobilenet_v2", "resnet18", "shufflenet_v2")
-DEFAULT_WORKER_COUNTS = (1, 2, 4)
-
-#: (scale, input_size) presets: full keeps enough resolution for the
-#: per-layer cycle structure to matter; quick is a CI-speed smoke.
-FULL_PRESET = (0.25, 64)
-QUICK_PRESET = (0.125, 32)
-
-
-def measure(fn, repeats: int = 1) -> tuple:
-    """Run ``fn`` ``repeats`` times; return (last result, best seconds).
-
-    Best-of-N wall clock is the standard way to suppress scheduler
-    noise when the quantity of interest is achievable throughput.
-    """
-    if repeats < 1:
-        raise DataflowError("repeats must be >= 1")
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return result, best
-
-
-def _engine_record(
-    result,
-    seconds: "float | None" = None,
-    energy: "dict | None" = None,
-) -> dict:
-    record = {
-        "conv_cycles": int(result.conv_cycles),
-        "cycles_per_image": float(result.cycles_per_image),
-        "images_per_million_cycles": float(
-            images_per_million_cycles(
-                result.batch_size, result.conv_cycles
-            )
-        ),
-        "macs_per_cycle": float(result.macs_per_cycle),
-        "cache": {
-            "hits": int(result.cache["hits"]),
-            "misses": int(result.cache["misses"]),
-            "hit_rate": float(result.cache["hit_rate"]),
-        },
-    }
-    if energy is not None:
-        record["energy"] = energy
-    if seconds is not None:
-        record["wall_seconds"] = float(seconds)
-        record["host_images_per_second"] = float(
-            requests_per_second(result.batch_size, seconds)
-        )
-    return record
-
-
-def _energy_record(runner, model_name: str, result) -> dict:
-    """Per-image energy of one benchmark run.
-
-    Accounts every conv stage at its own backend's deployed-array
-    power (:func:`repro.profiling.energy.network_energy`), so mixed
-    backend profiles sum correctly; uniform profiles reduce to
-    ``power x cycles x T_clk``.
-    """
-    net = runner.compile(model_name)
-    backends = resolve_stage_backends(net)
-    conv_records = [
-        record for record in result.stages if record.kind == "conv"
-    ]
-    batch = max(result.batch_size, 1)
-    total_pj = 0.0
-    arrays: dict = {}
-    clock_mhz = None
-    deployed = None
-    for record, backend in zip(conv_records, backends):
-        stage_energy = network_energy(
-            backend.array, record.conv_cycles / batch, runner.config
-        )
-        total_pj += stage_energy["pj_per_image"]
-        arrays[backend.array] = stage_energy["power_mw"]
-        clock_mhz = stage_energy["clock_mhz"]
-        deployed = stage_energy["deployed_precision"]
-    return {
-        "pj_per_image": total_pj,
-        "array_power_mw": arrays,
-        "deployed_precision": deployed,
-        "clock_mhz": clock_mhz,
-    }
+#: Backwards-compatible aliases: the record builders and model check
+#: predate the :mod:`repro.tune` harness and were imported under these
+#: names.
+_engine_record = engine_record
+_energy_record = energy_record
+_check_models = check_models
 
 
 def run_network_benchmark(
@@ -170,35 +103,25 @@ def run_network_benchmark(
     Returns:
         the record written to the artifact.
     """
-    _check_models(models)
-    if batch < 1:
-        raise DataflowError("batch must be >= 1")
-    config = config if config is not None else CoreConfig()
     profile = precision_profile(precision)
-    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
-
+    spec = SweepSpec(
+        name="networks",
+        nets=tuple(models),
+        backends=("binary", "tempus"),
+        precisions=(profile,),
+        batch=batch,
+        quick=quick,
+        scheduling=scheduling,
+    )
+    harness = SweepHarness(spec, config)
     runners = {
-        engine: NetworkRunner(
-            config,
-            engine=engine,
-            scheduling=scheduling,
-            scale=scale,
-            input_size=input_size,
-            precision=profile,
-        )
+        engine: harness.runner(engine, profile)
         for engine in ("binary", "tempus")
     }
-    unscheduled = NetworkRunner(
-        config,
-        engine="tempus",
-        scheduling=False,
-        scale=scale,
-        input_size=input_size,
-        precision=profile,
-    )
+    unscheduled = harness.runner("tempus", profile, scheduling=False)
 
     model_records = []
-    for name in models:
+    for name in spec.nets:
         # Warm both runners (compile + burst maps) before timing, so
         # wall_seconds measures steady state — the same protocol the
         # serving benchmark uses, keeping the numbers comparable.
@@ -219,8 +142,8 @@ def run_network_benchmark(
         # pay a third forward pass for a ratio that is 1.0 by
         # construction.
         baseline = unscheduled.run(name, batch) if scheduling else tempus
-        binary_energy = _energy_record(runners["binary"], name, binary)
-        tempus_energy = _energy_record(runners["tempus"], name, tempus)
+        binary_energy = energy_record(runners["binary"], name, binary)
+        tempus_energy = energy_record(runners["tempus"], name, tempus)
         record = {
             "model": name,
             "batch": int(batch),
@@ -230,10 +153,10 @@ def run_network_benchmark(
             ),
             "outputs_bit_identical": True,
             "engines": {
-                "binary": _engine_record(
+                "binary": engine_record(
                     binary, binary_seconds, binary_energy
                 ),
-                "tempus": _engine_record(
+                "tempus": engine_record(
                     tempus, tempus_seconds, tempus_energy
                 ),
             },
@@ -257,7 +180,7 @@ def run_network_benchmark(
         model_records.append(record)
 
     cache = burst_map_cache_stats()
-    config = runners["tempus"].config  # profile may widen the geometry
+    config = runners["tempus"].config  # profile may widen the precision
     payload = {
         "benchmark": "network_inference",
         "config": {
@@ -267,10 +190,7 @@ def run_network_benchmark(
         },
         "precision_profile": profile.name,
         "precision_layers": profile.describe(),
-        "quick": bool(quick),
-        "scheduling": bool(scheduling),
-        "scale": scale,
-        "input_size": input_size,
+        **harness.common_head(),
         "models": model_records,
         "burst_map_cache_totals": {
             "hits": cache["hits"],
@@ -278,22 +198,9 @@ def run_network_benchmark(
             "entries": cache["entries"],
         },
     }
-    if out_dir is not None:
-        out_path = Path(out_dir)
-        out_path.mkdir(parents=True, exist_ok=True)
-        artifact = out_path / "BENCH_networks.json"
-        artifact.write_text(json.dumps(payload, indent=2) + "\n")
-        payload["artifact"] = str(artifact)
-    return payload
-
-
-def _check_models(models) -> None:
-    unknown = [name for name in models if name not in MODEL_NAMES]
-    if unknown:
-        raise DataflowError(
-            f"unknown model(s) {', '.join(unknown)}; available: "
-            f"{', '.join(MODEL_NAMES)}"
-        )
+    return write_benchmark_artifact(
+        payload, "BENCH_networks.json", out_dir
+    )
 
 
 #: Nominal shard clock for converting simulated cycle makespans into
@@ -366,7 +273,6 @@ def run_serving_benchmark(
     """
     from repro.serve import FaultPlan, ShardedRunner
 
-    _check_models(models)
     fault_plan = None
     if fault_rate > 0.0:
         # Hangs are exercised by the dedicated fault-tolerance bench;
@@ -384,38 +290,35 @@ def run_serving_benchmark(
         )
         if job_deadline is None:
             job_deadline = 2.0
-    # Canonical backend-profile spelling: validates the name(s) up
-    # front and keeps the JSON payload a plain string.
-    engine = backend_profile(engine).describe()
     if requests < 1:
         raise DataflowError("requests must be >= 1")
-    if any(count < 1 for count in worker_counts):
-        raise DataflowError("worker counts must be >= 1")
-    # Deduplicate and sort ascending so the sweep (and the monotonic
-    # scaling flag) always reads smallest -> largest pool.
-    worker_counts = tuple(
-        sorted(dict.fromkeys(int(count) for count in worker_counts))
-    )
-    config = config if config is not None else CoreConfig()
     profile = precision_profile(precision)
-    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
-
-    reference_runner = NetworkRunner(
-        config,
-        engine=engine,
+    # The spec canonicalizes the backend spelling (validating the
+    # name(s) up front, keeping the JSON payload a plain string) and
+    # dedup-sorts the worker sweep smallest -> largest.
+    spec = SweepSpec(
+        name="serving",
+        nets=tuple(models),
+        backends=(engine,),
+        precisions=(profile,),
+        workers=tuple(worker_counts),
+        quick=quick,
         scheduling=scheduling,
-        scale=scale,
-        input_size=input_size,
-        precision=profile,
     )
-    config = reference_runner.config  # profile may widen the geometry
+    engine = spec.backends[0]
+    worker_counts = spec.workers
+    harness = SweepHarness(spec, config)
+    scale, input_size = harness.scale, harness.input_size
+
+    reference_runner = harness.runner(engine, profile)
+    config = reference_runner.config  # profile may widen the precision
 
     model_records = []
-    for name in models:
+    for name in spec.nets:
         reference = reference_runner.run(name, requests)
         # Energy is cycle-derived, so it is identical at every worker
         # count (the shards replicate compute, they don't change it).
-        energy = _energy_record(reference_runner, name, reference)
+        energy = energy_record(reference_runner, name, reference)
         sweep = []
         for workers in worker_counts:
             with ShardedRunner(
@@ -445,7 +348,7 @@ def run_serving_benchmark(
                     f"{name}: sharded run with {workers} worker(s) "
                     "diverged from the single-process reference"
                 )
-            record = _engine_record(result, seconds, energy)
+            record = engine_record(result, seconds, energy)
             makespan = result.makespan_cycles
             record["workers"] = int(workers)
             record["jobs"] = int(result.jobs)
@@ -491,10 +394,7 @@ def run_serving_benchmark(
         },
         "precision_profile": profile.name,
         "precision_layers": profile.describe(),
-        "quick": bool(quick),
-        "scheduling": bool(scheduling),
-        "scale": scale,
-        "input_size": input_size,
+        **harness.common_head(),
         "max_batch": int(max_batch),
         "max_wait": float(max_wait),
         "repeats": int(repeats),
@@ -504,49 +404,43 @@ def run_serving_benchmark(
         "fault_seed": int(fault_seed) if fault_rate > 0.0 else None,
         "models": model_records,
     }
-    if out_dir is not None:
-        out_path = Path(out_dir)
-        out_path.mkdir(parents=True, exist_ok=True)
-        artifact = out_path / "BENCH_serving.json"
-        artifact.write_text(json.dumps(payload, indent=2) + "\n")
-        payload["artifact"] = str(artifact)
-    return payload
+    return write_benchmark_artifact(
+        payload, "BENCH_serving.json", out_dir
+    )
 
 
 def render_serving_benchmark(payload: dict) -> str:
     """Human-readable summary of a serving benchmark payload."""
-    from repro.utils.tables import format_table
-
-    rows = []
-    for record in payload["models"]:
-        for sweep in record["workers"]:
-            rows.append(
-                (
-                    record["model"],
-                    sweep["workers"],
-                    record["requests"],
-                    f"{sweep['makespan_cycles']:,}",
-                    f"{sweep['requests_per_second']:,.0f}",
-                    f"{sweep['speedup_vs_one_worker']:.2f}x",
-                    f"{sweep['images_per_million_cycles']:.3f}",
-                    "yes"
-                    if sweep["bit_identical_to_reference"]
-                    else "NO",
-                )
-            )
-    config = payload["config"]
-    table = format_table(
-        [
-            "model",
-            "workers",
-            "requests",
-            "makespan cycles",
-            "req/s (sim)",
+    rows = [
+        {**sweep, "model": record["model"],
+         "requests": record["requests"]}
+        for record in payload["models"]
+        for sweep in record["workers"]
+    ]
+    columns = [
+        Column("model", "model"),
+        Column("workers", "workers"),
+        Column("requests", "requests"),
+        Column("makespan cycles", "makespan_cycles", format=","),
+        Column("req/s (sim)", "requests_per_second", format=",.0f"),
+        Column(
             "vs 1 worker",
-            "img/Mcycle",
+            "speedup_vs_one_worker",
+            format=".2f",
+            suffix="x",
+        ),
+        Column(
+            "img/Mcycle", "images_per_million_cycles", format=".3f"
+        ),
+        Column(
             "bit-identical",
-        ],
+            lambda row: yes_no(row["bit_identical_to_reference"]),
+        ),
+    ]
+    config = payload["config"]
+    table = render_columns(
         rows,
+        columns,
         title=(
             f"sharded serving ({payload['engine']}) on "
             f"{config['k']}x{config['n']} "
@@ -645,31 +539,30 @@ def run_fault_tolerance_benchmark(
     """
     from repro.serve import FaultPlan, ShardedRunner
 
-    _check_models(models)
-    engine = backend_profile(engine).describe()
     if requests < 1:
         raise DataflowError("requests must be >= 1")
     if any(rate < 0.0 or rate > 1.0 for rate in fault_rates):
         raise DataflowError("fault rates must be in [0, 1]")
-    worker_counts = tuple(
-        sorted(dict.fromkeys(int(count) for count in worker_counts))
-    )
-    config = config if config is not None else CoreConfig()
     profile = precision_profile(precision)
-    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
-
-    reference_runner = NetworkRunner(
-        config,
-        engine=engine,
+    spec = SweepSpec(
+        name="faults",
+        nets=tuple(models),
+        backends=(engine,),
+        precisions=(profile,),
+        workers=tuple(worker_counts),
+        quick=quick,
         scheduling=scheduling,
-        scale=scale,
-        input_size=input_size,
-        precision=profile,
     )
-    config = reference_runner.config  # profile may widen the geometry
+    engine = spec.backends[0]
+    worker_counts = spec.workers
+    harness = SweepHarness(spec, config)
+    scale, input_size = harness.scale, harness.input_size
+
+    reference_runner = harness.runner(engine, profile)
+    config = reference_runner.config  # profile may widen the precision
 
     model_records = []
-    for name in models:
+    for name in spec.nets:
         reference = reference_runner.run(name, requests)
         points = []
         baselines: dict = {}  # workers -> fault-free point
@@ -773,10 +666,7 @@ def run_fault_tolerance_benchmark(
             "precision": config.precision.name,
         },
         "precision_profile": profile.name,
-        "quick": bool(quick),
-        "scheduling": bool(scheduling),
-        "scale": scale,
-        "input_size": input_size,
+        **harness.common_head(),
         "max_batch": int(max_batch),
         "job_deadline": float(job_deadline),
         "fault_seed": int(fault_seed),
@@ -786,54 +676,42 @@ def run_fault_tolerance_benchmark(
         "worker_counts": [int(count) for count in worker_counts],
         "models": model_records,
     }
-    if out_dir is not None:
-        out_path = Path(out_dir)
-        out_path.mkdir(parents=True, exist_ok=True)
-        artifact = out_path / "BENCH_faults.json"
-        artifact.write_text(json.dumps(payload, indent=2) + "\n")
-        payload["artifact"] = str(artifact)
-    return payload
+    return write_benchmark_artifact(
+        payload, "BENCH_faults.json", out_dir
+    )
 
 
 def render_fault_tolerance_benchmark(payload: dict) -> str:
     """Human-readable summary of a fault-tolerance payload."""
-    from repro.utils.tables import format_table
-
-    rows = []
-    for record in payload["models"]:
-        for point in record["points"]:
-            health = point["health"]
-            rows.append(
-                (
-                    record["model"],
-                    point["workers"],
-                    f"{point['fault_rate']:.2f}",
-                    f"{point['makespan_cycles']:,}",
-                    f"{point.get('makespan_degradation', 1.0):.2f}x",
-                    health["restarts"],
-                    health["redispatched"],
-                    health["retries"],
-                    health["degraded_jobs"],
-                    "yes"
-                    if point["bit_identical_to_reference"]
-                    else "NO",
-                )
-            )
-    config = payload["config"]
-    return format_table(
-        [
-            "model",
-            "workers",
-            "fault rate",
-            "makespan cycles",
+    rows = [
+        {**point, "model": record["model"]}
+        for record in payload["models"]
+        for point in record["points"]
+    ]
+    columns = [
+        Column("model", "model"),
+        Column("workers", "workers"),
+        Column("fault rate", "fault_rate", format=".2f"),
+        Column("makespan cycles", "makespan_cycles", format=","),
+        Column(
             "vs fault-free",
-            "restarts",
-            "redisp",
-            "retries",
-            "degraded",
+            lambda row: row.get("makespan_degradation", 1.0),
+            format=".2f",
+            suffix="x",
+        ),
+        Column("restarts", lambda row: row["health"]["restarts"]),
+        Column("redisp", lambda row: row["health"]["redispatched"]),
+        Column("retries", lambda row: row["health"]["retries"]),
+        Column("degraded", lambda row: row["health"]["degraded_jobs"]),
+        Column(
             "bit-identical",
-        ],
+            lambda row: yes_no(row["bit_identical_to_reference"]),
+        ),
+    ]
+    config = payload["config"]
+    return render_columns(
         rows,
+        columns,
         title=(
             f"fault tolerance ({payload['engine']}) on "
             f"{config['k']}x{config['n']} {config['precision']} "
@@ -847,7 +725,6 @@ def render_fault_tolerance_benchmark(payload: dict) -> str:
 #: Precision-sweep defaults: three structurally dissimilar nets, the
 #: three uniform paper precisions plus the standard mixed edge recipe.
 DEFAULT_PRECISION_MODELS = DEFAULT_SERVING_MODELS
-DEFAULT_PRECISION_SWEEP = ("int8", "int4", "int2", "mixed")
 
 
 def run_precision_benchmark(
@@ -895,34 +772,25 @@ def run_precision_benchmark(
     """
     from repro.serve import ShardedRunner
 
-    _check_models(models)
-    if batch < 1:
-        raise DataflowError("batch must be >= 1")
-    config = config if config is not None else CoreConfig()
+    spec = SweepSpec(
+        name="precision",
+        nets=tuple(models),
+        backends=("tempus", "binary"),
+        precisions=tuple(precisions),
+        batch=batch,
+        quick=quick,
+        scheduling=scheduling,
+    )
+    harness = SweepHarness(spec, config)
+    config = harness.base_config
     profiles = [precision_profile(entry) for entry in precisions]
-    if len({profile.name for profile in profiles}) != len(profiles):
-        raise DataflowError("duplicate precision profiles in sweep")
-    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
-
-    runners = {
-        (profile.name, engine): NetworkRunner(
-            config,
-            engine=engine,
-            scheduling=scheduling,
-            scale=scale,
-            input_size=input_size,
-            precision=profile,
-        )
-        for profile in profiles
-        for engine in ("binary", "tempus")
-    }
 
     model_records = []
-    for name in models:
+    for name in spec.nets:
         sweep = []
         for profile in profiles:
-            tempus_runner = runners[(profile.name, "tempus")]
-            binary_runner = runners[(profile.name, "binary")]
+            tempus_runner = harness.runner("tempus", profile)
+            binary_runner = harness.runner("binary", profile)
             tempus_runner.run(name, 1)  # warm compile + burst maps
             binary_runner.run(name, 1)
             tempus, tempus_seconds = measure(
@@ -947,15 +815,15 @@ def run_precision_benchmark(
                     ),
                     "outputs_bit_identical": True,
                     "engines": {
-                        "tempus": _engine_record(
+                        "tempus": engine_record(
                             tempus,
                             tempus_seconds,
-                            _energy_record(tempus_runner, name, tempus),
+                            energy_record(tempus_runner, name, tempus),
                         ),
-                        "binary": _engine_record(
+                        "binary": engine_record(
                             binary,
                             binary_seconds,
-                            _energy_record(binary_runner, name, binary),
+                            energy_record(binary_runner, name, binary),
                         ),
                     },
                     "tempus_vs_binary_cycle_ratio": float(
@@ -985,36 +853,25 @@ def run_precision_benchmark(
     payload = {
         "benchmark": "precision_sweep",
         "config": {"k": config.k, "n": config.n},
-        "quick": bool(quick),
-        "scheduling": bool(scheduling),
-        "scale": scale,
-        "input_size": input_size,
+        **harness.common_head(),
         "precisions": [profile.name for profile in profiles],
         "models": model_records,
     }
 
     if verify_sharded is not None:
         profile = precision_profile(verify_sharded)
-        verify_model = models[0]
-        # The verification profile need not be part of the sweep.
-        reference_runner = runners.get((profile.name, "tempus"))
-        if reference_runner is None:
-            reference_runner = NetworkRunner(
-                config,
-                engine="tempus",
-                scheduling=scheduling,
-                scale=scale,
-                input_size=input_size,
-                precision=profile,
-            )
+        verify_model = spec.nets[0]
+        # The verification profile need not be part of the sweep —
+        # the harness builds (and caches) its runner on demand.
+        reference_runner = harness.runner("tempus", profile)
         reference = reference_runner.run(verify_model, batch)
         with ShardedRunner(
             workers=sharded_workers,
             config=config,
             engine="tempus",
             scheduling=scheduling,
-            scale=scale,
-            input_size=input_size,
+            scale=harness.scale,
+            input_size=harness.input_size,
             precision=profile,
         ) as server:
             sharded = server.run(verify_model, batch)
@@ -1035,50 +892,54 @@ def run_precision_benchmark(
             "bit_identical_outputs_and_cycles": identical,
         }
 
-    if out_dir is not None:
-        out_path = Path(out_dir)
-        out_path.mkdir(parents=True, exist_ok=True)
-        artifact = out_path / "BENCH_precision.json"
-        artifact.write_text(json.dumps(payload, indent=2) + "\n")
-        payload["artifact"] = str(artifact)
-    return payload
+    return write_benchmark_artifact(
+        payload, "BENCH_precision.json", out_dir
+    )
 
 
 def render_precision_benchmark(payload: dict) -> str:
     """Human-readable summary of a precision-sweep payload."""
-    from repro.utils.tables import format_table
-
-    rows = []
-    for record in payload["models"]:
-        for entry in record["precisions"]:
-            tempus = entry["engines"]["tempus"]
-            binary = entry["engines"]["binary"]
-            rows.append(
-                (
-                    record["model"],
-                    entry["layers"],
-                    f"{tempus['conv_cycles']:,}",
-                    f"{binary['conv_cycles']:,}",
-                    f"{entry['tempus_vs_binary_cycle_ratio']:.3f}",
-                    f"{tempus['images_per_million_cycles']:.3f}",
-                    "yes"
-                    if record["ratio_improves_monotonically"]
-                    else "NO",
-                )
-            )
+    rows = [
+        {
+            **entry,
+            "model": record["model"],
+            "monotonic": record["ratio_improves_monotonically"],
+        }
+        for record in payload["models"]
+        for entry in record["precisions"]
+    ]
+    columns = [
+        Column("model", "model"),
+        Column("precision", "layers"),
+        Column(
+            "tempus cycles",
+            lambda row: row["engines"]["tempus"]["conv_cycles"],
+            format=",",
+        ),
+        Column(
+            "binary cycles",
+            lambda row: row["engines"]["binary"]["conv_cycles"],
+            format=",",
+        ),
+        Column(
+            "tempus:binary",
+            "tempus_vs_binary_cycle_ratio",
+            format=".3f",
+        ),
+        Column(
+            "img/Mcycle (tempus)",
+            lambda row: (
+                row["engines"]["tempus"]["images_per_million_cycles"]
+            ),
+            format=".3f",
+        ),
+        Column("monotonic", lambda row: yes_no(row["monotonic"])),
+    ]
     config = payload["config"]
     lines = [
-        format_table(
-            [
-                "model",
-                "precision",
-                "tempus cycles",
-                "binary cycles",
-                "tempus:binary",
-                "img/Mcycle (tempus)",
-                "monotonic",
-            ],
+        render_columns(
             rows,
+            columns,
             title=(
                 f"precision sweep on {config['k']}x{config['n']} "
                 f"(scale {payload['scale']}, "
@@ -1093,16 +954,13 @@ def render_precision_benchmark(payload: dict) -> str:
             f"({verification['workers']} workers, "
             f"{verification['model']}): bit-identical to "
             f"single-process run = "
-            f"{'yes' if verification['bit_identical_outputs_and_cycles'] else 'NO'}"
+            f"{yes_no(verification['bit_identical_outputs_and_cycles'])}"
         )
     return "\n\n".join(lines)
 
 
-#: Backend-sweep defaults: three structurally dissimilar nets, all four
-#: registered MAC-unit designs, the paper's three uniform precisions.
+#: Backend-sweep default workload: three structurally dissimilar nets.
 DEFAULT_BACKEND_MODELS = DEFAULT_SERVING_MODELS
-DEFAULT_BACKEND_SWEEP = ("binary", "tempus", "tugemm", "tubgemm")
-DEFAULT_BACKEND_PRECISIONS = ("int8", "int4", "int2")
 
 
 def _mean_burst_cycles(net) -> float:
@@ -1168,54 +1026,42 @@ def run_backend_benchmark(
     Returns:
         the record written to the artifact.
     """
-    _check_models(models)
-    if batch < 1:
-        raise DataflowError("batch must be >= 1")
-    if not backends:
-        raise DataflowError("backend sweep must name >= 1 backend")
-    backend_names = tuple(get_backend(name).name for name in backends)
-    if len(set(backend_names)) != len(backend_names):
-        raise DataflowError("duplicate backends in sweep")
-    config = config if config is not None else CoreConfig()
+    spec = SweepSpec(
+        name="backends",
+        nets=tuple(models),
+        backends=tuple(backends),
+        precisions=tuple(precisions),
+        batch=batch,
+        quick=quick,
+        scheduling=scheduling,
+    )
+    # This sweep's records carry per-backend engine metadata, so mixed
+    # "first/interior/last" profiles don't belong here — get_backend
+    # rejects them like the pre-spec driver did.
+    backend_names = tuple(
+        get_backend(name).name for name in spec.backends
+    )
+    harness = SweepHarness(spec, config)
+    config = harness.base_config
     profiles = [precision_profile(entry) for entry in precisions]
-    if len({profile.name for profile in profiles}) != len(profiles):
-        raise DataflowError("duplicate precision profiles in sweep")
-    scale, input_size = QUICK_PRESET if quick else FULL_PRESET
-
-    # One runner per (profile, backend): per-backend wall-clock stays
-    # honest (each backend times its own compile-warmed steady state)
-    # at the cost of re-lowering per backend — a deliberate trade; the
-    # whole sweep is minutes even at the full preset.
-    runners = {
-        (profile.name, name): NetworkRunner(
-            config,
-            engine=name,
-            scheduling=scheduling,
-            scale=scale,
-            input_size=input_size,
-            precision=profile,
-        )
-        for profile in profiles
-        for name in backend_names
-    }
 
     model_records = []
-    for model in models:
+    for model in spec.nets:
         sweep = []
         for profile in profiles:
             results = {}
             records = {}
             for name in backend_names:
-                runner = runners[(profile.name, name)]
+                runner = harness.runner(name, profile)
                 runner.run(model, 1)  # warm compile + burst maps
                 result, seconds = measure(
                     lambda: runner.run(model, batch)
                 )
                 results[name] = result
-                records[name] = _engine_record(
+                records[name] = engine_record(
                     result,
                     seconds,
-                    _energy_record(runner, model, result),
+                    energy_record(runner, model, result),
                 )
                 records[name]["temporal"] = get_backend(name).temporal
                 # The batched path computes outputs through the shared
@@ -1297,7 +1143,9 @@ def run_backend_benchmark(
             # The paper's Sec. V-C per-burst comparison at this
             # model/precision point (deployed INT8 arrays, the model's
             # mean burst length).
-            net = runners[(profile.name, backend_names[0])].compile(model)
+            net = harness.runner(backend_names[0], profile).compile(
+                model
+            )
             comparison = workload_energy(
                 model, config, _mean_burst_cycles(net)
             )
@@ -1313,56 +1161,58 @@ def run_backend_benchmark(
     payload = {
         "benchmark": "backend_sweep",
         "config": {"k": config.k, "n": config.n},
-        "quick": bool(quick),
-        "scheduling": bool(scheduling),
-        "scale": scale,
-        "input_size": input_size,
-        "batch": int(batch),
+        **harness.common_head(),
+        "batch": spec.batch,
         "backends": list(backend_names),
         "precisions": [profile.name for profile in profiles],
         "models": model_records,
     }
-    if out_dir is not None:
-        out_path = Path(out_dir)
-        out_path.mkdir(parents=True, exist_ok=True)
-        artifact = out_path / "BENCH_backends.json"
-        artifact.write_text(json.dumps(payload, indent=2) + "\n")
-        payload["artifact"] = str(artifact)
-    return payload
+    return write_benchmark_artifact(
+        payload, "BENCH_backends.json", out_dir
+    )
 
 
 def render_backend_benchmark(payload: dict) -> str:
     """Human-readable summary of a backend-sweep payload."""
-    from repro.utils.tables import format_table
-
-    rows = []
-    for record in payload["models"]:
-        for entry in record["precisions"]:
-            for name in payload["backends"]:
-                stats = entry["backends"][name]
-                rows.append(
-                    (
-                        entry["net"],
-                        entry["layers"],
-                        name,
-                        f"{stats['conv_cycles']:,}",
-                        f"{stats['energy']['pj_per_image']:,.0f}",
-                        f"{entry.get('vs_binary_cycles', {}).get(name, 1.0):.3f}",
-                        "yes" if entry["outputs_bit_identical"] else "NO",
-                    )
-                )
-    config = payload["config"]
-    return format_table(
-        [
-            "net",
-            "precision",
-            "backend",
+    rows = [
+        {
+            "net": entry["net"],
+            "layers": entry["layers"],
+            "backend": name,
+            "stats": entry["backends"][name],
+            "vs_binary": entry.get("vs_binary_cycles", {}).get(
+                name, 1.0
+            ),
+            "bit_identical": entry["outputs_bit_identical"],
+        }
+        for record in payload["models"]
+        for entry in record["precisions"]
+        for name in payload["backends"]
+    ]
+    columns = [
+        Column("net", "net"),
+        Column("precision", "layers"),
+        Column("backend", "backend"),
+        Column(
             "cycles",
+            lambda row: row["stats"]["conv_cycles"],
+            format=",",
+        ),
+        Column(
             "pJ/image",
-            "cycles vs binary",
+            lambda row: row["stats"]["energy"]["pj_per_image"],
+            format=",.0f",
+        ),
+        Column("cycles vs binary", "vs_binary", format=".3f"),
+        Column(
             "bit-identical",
-        ],
+            lambda row: yes_no(row["bit_identical"]),
+        ),
+    ]
+    config = payload["config"]
+    return render_columns(
         rows,
+        columns,
         title=(
             f"compute-backend sweep on {config['k']}x{config['n']} "
             f"(scale {payload['scale']}, input {payload['input_size']}, "
@@ -1373,35 +1223,42 @@ def render_backend_benchmark(payload: dict) -> str:
 
 def render_benchmark(payload: dict) -> str:
     """Human-readable summary of a benchmark payload."""
-    from repro.utils.tables import format_table
-
-    rows = []
-    for record in payload["models"]:
-        tempus = record["engines"]["tempus"]
-        binary = record["engines"]["binary"]
-        rows.append(
-            (
-                record["model"],
-                record["batch"],
-                f"{tempus['conv_cycles']:,}",
-                f"{binary['conv_cycles']:,}",
-                f"{tempus['images_per_million_cycles']:.3f}",
-                f"{tempus['cache']['hit_rate']:.2f}",
-                f"{record['scheduling_speedup']:.3f}x",
-            )
-        )
-    config = payload["config"]
-    return format_table(
-        [
-            "model",
-            "batch",
+    columns = [
+        Column("model", "model"),
+        Column("batch", "batch"),
+        Column(
             "tempus cycles",
+            lambda row: row["engines"]["tempus"]["conv_cycles"],
+            format=",",
+        ),
+        Column(
             "binary cycles",
+            lambda row: row["engines"]["binary"]["conv_cycles"],
+            format=",",
+        ),
+        Column(
             "img/Mcycle (tempus)",
+            lambda row: (
+                row["engines"]["tempus"]["images_per_million_cycles"]
+            ),
+            format=".3f",
+        ),
+        Column(
             "cache hit",
+            lambda row: row["engines"]["tempus"]["cache"]["hit_rate"],
+            format=".2f",
+        ),
+        Column(
             "sched gain",
-        ],
-        rows,
+            "scheduling_speedup",
+            format=".3f",
+            suffix="x",
+        ),
+    ]
+    config = payload["config"]
+    return render_columns(
+        payload["models"],
+        columns,
         title=(
             f"batched network inference on {config['k']}x{config['n']} "
             f"{payload.get('precision_layers', config['precision'])} "

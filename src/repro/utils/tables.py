@@ -8,8 +8,9 @@ the paper plots.
 from __future__ import annotations
 
 import csv
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 
 def _render_cell(value: object, float_format: str) -> str:
@@ -55,6 +56,65 @@ def format_table(
     lines.append(divider)
     lines.extend(fmt_line(row) for row in text_rows)
     return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a benchmark table: header + cell extraction.
+
+    The benchmark renderers are declarative column lists over flattened
+    payload rows (mappings), so every driver shares one formatting
+    path instead of hand-rolling f-strings per cell.
+
+    Attributes:
+        header: column name.
+        value: row key, or a callable mapping the row to the value.
+        format: optional :func:`format` spec applied to the value
+            (e.g. ``","`` for thousands separators, ``".3f"``).
+        suffix: literal appended after formatting (e.g. ``"x"``).
+    """
+
+    header: str
+    value: "str | Callable[[Mapping], object]"
+    format: "str | None" = None
+    suffix: str = ""
+
+    def cell(self, row: Mapping) -> object:
+        value = (
+            row[self.value]
+            if isinstance(self.value, str)
+            else self.value(row)
+        )
+        if self.format is not None:
+            value = format(value, self.format)
+        if self.suffix:
+            value = f"{value}{self.suffix}"
+        return value
+
+
+def render_columns(
+    rows: Iterable[Mapping],
+    columns: Sequence[Column],
+    title: "str | None" = None,
+    float_format: str = ".4g",
+) -> str:
+    """Render mapping rows through a declarative column list.
+
+    The generic benchmark-table renderer: each driver flattens its
+    payload into row mappings and declares its columns; alignment and
+    cell formatting live here once.
+    """
+    return format_table(
+        [column.header for column in columns],
+        [[column.cell(row) for column in columns] for row in rows],
+        title=title,
+        float_format=float_format,
+    )
+
+
+def yes_no(flag: object) -> str:
+    """The benchmark tables' verification cell: ``yes`` / ``NO``."""
+    return "yes" if flag else "NO"
 
 
 def ascii_bar_chart(

@@ -362,3 +362,86 @@ class TestCheckResults:
             (tmp_path / "BENCH_serving.json").read_text()
         )
         assert payload["engine"] == "binary/tubgemm/binary"
+
+
+class TestListSweepSpecs:
+    def test_list_enumerates_registered_sweeps(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep specs (serve-bench / tune):" in out
+        for name in ("networks", "serving", "precision", "backends",
+                     "pareto"):
+            assert name in out
+        # Axes are shown so the grid is readable without opening code.
+        assert "geometries=8x8,16x4,16x16,32x32" in out
+
+
+class TestTune:
+    def test_quick_tune_writes_artifact(self, capsys, tmp_path):
+        code = main(
+            [
+                "tune",
+                "--net",
+                "mobilenet_v2",
+                "--quick",
+                "--backends",
+                "binary",
+                "tempus",
+                "--precisions",
+                "int8",
+                "--geometries",
+                "8x8",
+                "16x16",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "design-space Pareto frontier for mobilenet_v2" in out
+        assert "wrote" in out
+        import json
+
+        payload = json.loads(
+            (tmp_path / "BENCH_pareto.json").read_text()
+        )
+        assert payload["benchmark"] == "pareto_tune"
+        assert payload["explored"] == 4
+        assert payload["frontier"]
+
+    def test_bad_geometry_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            [
+                "tune",
+                "--quick",
+                "--geometries",
+                "0x16",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "tune failed" in err
+        assert "k must be >= 1" in err
+
+    def test_infeasible_slo_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            [
+                "tune",
+                "--quick",
+                "--backends",
+                "tempus",
+                "--precisions",
+                "int8",
+                "--geometries",
+                "8x8",
+                "--slo-cycles",
+                "1",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "tightest achievable" in err

@@ -70,6 +70,90 @@ class TestNormalizers:
         assert records[0]["backend"] == "tempus"
         assert records[0]["net"] == "microbench_layer"
 
+    def test_pareto_payload(self):
+        point = {
+            "net": "mobilenet_v2",
+            "backend": "tempus",
+            "precision": "int4",
+            "label": "tempus/int4/8x8",
+            "cycles": 100,
+            "cycles_per_image": 100.0,
+            "pj_per_image": 50.0,
+            "area_mm2": 0.1,
+            "meets_slo": True,
+        }
+        payload = {
+            "slo": {},
+            "points": [point],
+            "frontier": [point],
+        }
+        records = normalize_records("BENCH_pareto.json", payload)
+        assert records == [
+            {
+                "net": "mobilenet_v2",
+                "backend": "tempus",
+                "precision": "int4",
+                "cycles": 100,
+            }
+        ]
+
+    def _pareto_payload(self, frontier_overrides=None):
+        def point(label, cycles, pj, mm2, meets_slo=True):
+            return {
+                "net": "mobilenet_v2",
+                "backend": "tempus",
+                "precision": "int8",
+                "label": label,
+                "cycles": int(cycles),
+                "cycles_per_image": cycles,
+                "pj_per_image": pj,
+                "area_mm2": mm2,
+                "meets_slo": meets_slo,
+            }
+
+        points = [
+            point("fast", 10.0, 90.0, 1.0),
+            point("small", 90.0, 10.0, 0.1),
+        ]
+        frontier = list(points)
+        if frontier_overrides:
+            frontier += [point(**kw) for kw in frontier_overrides]
+            points += [point(**kw) for kw in frontier_overrides]
+        return {"slo": {}, "points": points, "frontier": frontier}
+
+    def test_pareto_empty_frontier_rejected(self):
+        payload = self._pareto_payload()
+        payload["frontier"] = []
+        with pytest.raises(DataflowError, match="empty frontier"):
+            normalize_records("BENCH_pareto.json", payload)
+
+    def test_pareto_dominated_frontier_point_rejected(self):
+        payload = self._pareto_payload(
+            [dict(label="worse", cycles=95.0, pj=15.0, mm2=0.2)]
+        )
+        with pytest.raises(DataflowError, match="dominated"):
+            normalize_records("BENCH_pareto.json", payload)
+
+    def test_pareto_slo_violating_frontier_point_rejected(self):
+        payload = self._pareto_payload(
+            [
+                dict(
+                    label="late", cycles=5.0, pj=95.0, mm2=2.0,
+                    meets_slo=False,
+                )
+            ]
+        )
+        with pytest.raises(DataflowError, match="violates"):
+            normalize_records("BENCH_pareto.json", payload)
+
+    def test_pareto_frontier_outside_explored_rejected(self):
+        payload = self._pareto_payload()
+        payload["points"] = payload["points"][:1]
+        with pytest.raises(
+            DataflowError, match="not among the explored"
+        ):
+            normalize_records("BENCH_pareto.json", payload)
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(DataflowError):
             normalize_records("BENCH_mystery.json", {})

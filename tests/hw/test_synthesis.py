@@ -2,11 +2,13 @@
 
 import pytest
 
+from repro.core.hwmodel import tub_array_netlist
 from repro.errors import SynthesisError
 from repro.hw.components import register_bank
 from repro.hw.netlist import Netlist
 from repro.hw.synthesis import synthesize
 from repro.hw.wallace import wallace_multiplier
+from repro.nvdla.hwmodel import binary_array_netlist
 
 
 class TestAreaAndCells:
@@ -81,3 +83,65 @@ class TestTiming:
     def test_invalid_clock_raises(self):
         with pytest.raises(SynthesisError):
             synthesize(wallace_multiplier(4), clock_mhz=0)
+
+
+class TestGeometryScaling:
+    """Scaling behavior across the autotuner's geometry grid: the
+    Pareto search's area/power axis is only meaningful if synthesis
+    estimates grow monotonically with the array footprint."""
+
+    #: The design-space autotuner's default geometries, small to large
+    #: by PE count (16x4 and 8x8 share k*n = 64 but not k).
+    GRID = ((8, 8), (16, 4), (16, 16), (32, 32))
+
+    @staticmethod
+    def _reports(array):
+        from repro.tune.autotune import array_report
+
+        return [
+            array_report(array, k, n, width=8)
+            for k, n in TestGeometryScaling.GRID
+        ]
+
+    @pytest.mark.parametrize("array", ["binary", "tub"])
+    def test_area_monotone_in_pe_count(self, array):
+        reports = self._reports(array)
+        areas = [r.area_mm2 for r in reports]
+        pes = [k * n for k, n in self.GRID]
+        for (pe_a, area_a), (pe_b, area_b) in zip(
+            zip(pes, areas), zip(pes[1:], areas[1:])
+        ):
+            if pe_b > pe_a:
+                assert area_b > area_a
+
+    @pytest.mark.parametrize("array", ["binary", "tub"])
+    def test_power_monotone_in_pe_count(self, array):
+        reports = self._reports(array)
+        powers = [r.total_power_mw for r in reports]
+        pes = [k * n for k, n in self.GRID]
+        for (pe_a, p_a), (pe_b, p_b) in zip(
+            zip(pes, powers), zip(pes[1:], powers[1:])
+        ):
+            if pe_b > pe_a:
+                assert p_b > p_a
+
+    @pytest.mark.parametrize(
+        "netlist_fn",
+        [
+            pytest.param(binary_array_netlist, id="binary"),
+            pytest.param(tub_array_netlist, id="tub"),
+        ],
+    )
+    def test_int4_cell_below_int8(self, netlist_fn):
+        narrow = synthesize(netlist_fn(16, 16, "int4"))
+        wide = synthesize(netlist_fn(16, 16, "int8"))
+        assert narrow.area_mm2 < wide.area_mm2
+        assert narrow.total_power_mw < wide.total_power_mw
+
+    @pytest.mark.parametrize("array", ["binary", "tub"])
+    def test_timing_and_slack_consistent_across_grid(self, array):
+        for report in self._reports(array):
+            assert report.meets_timing == (report.slack_ns >= 0)
+            assert report.slack_ns == pytest.approx(
+                report.clock_period_ns - report.critical_path_ns
+            )

@@ -40,5 +40,30 @@ class TestCoreConfig:
         with pytest.raises(DataflowError):
             CoreConfig(pipeline_latency=-1)
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 2.5},
+            {"n": "8"},
+            {"k": True},
+            {"pipeline_latency": 1.0},
+            {"burst_overhead": None},
+        ],
+        ids=["float-k", "string-n", "bool-k", "float-latency",
+             "none-overhead"],
+    )
+    def test_non_integral_fields_rejected(self, kwargs):
+        with pytest.raises(DataflowError, match="must be an integer"):
+            CoreConfig(**kwargs)
+
+    def test_integral_numpy_ints_coerced_to_int(self):
+        # Integral subtypes (numpy ints) are accepted and stored as
+        # plain ints so the frozen config hashes/serializes stably.
+        import numpy as np
+
+        config = CoreConfig(k=np.int64(16), n=np.int32(4))
+        assert (config.k, config.n) == (16, 4)
+        assert type(config.k) is int and type(config.n) is int
+
     def test_describe(self):
         assert ARRAY_16X16.describe() == "16x16 INT8"

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.utils.tables import ascii_bar_chart, format_table, write_csv
+from repro.utils.tables import (
+    Column,
+    ascii_bar_chart,
+    format_table,
+    render_columns,
+    write_csv,
+    yes_no,
+)
 
 
 class TestFormatTable:
@@ -58,3 +65,60 @@ class TestWriteCsv:
     def test_creates_parent_dirs(self, tmp_path):
         path = write_csv(tmp_path / "sub" / "dir" / "x.csv", ["a"], [[1]])
         assert path.exists()
+
+
+class TestRenderColumns:
+    ROWS = [
+        {"name": "resnet18", "speedup": 2.3456, "ok": True},
+        {"name": "mobilenet_v2", "speedup": 1.0, "ok": False},
+    ]
+
+    def test_key_and_callable_columns(self):
+        text = render_columns(
+            self.ROWS,
+            [
+                Column("model", "name"),
+                Column("flag", lambda row: yes_no(row["ok"])),
+            ],
+        )
+        lines = text.splitlines()
+        assert lines[0].split(" | ") == [
+            "       model", "flag"
+        ]
+        assert "resnet18" in lines[2] and "yes" in lines[2]
+        assert "mobilenet_v2" in lines[3] and "NO" in lines[3]
+
+    def test_format_spec_and_suffix(self):
+        text = render_columns(
+            self.ROWS,
+            [Column("speedup", "speedup", format=".2f", suffix="x")],
+        )
+        assert "2.35x" in text
+        assert "1.00x" in text
+
+    def test_title_and_float_format_passthrough(self):
+        text = render_columns(
+            self.ROWS,
+            [Column("speedup", "speedup")],
+            title="header line",
+            float_format=".1f",
+        )
+        assert text.splitlines()[0] == "header line"
+        assert "2.3\n" in text + "\n"
+
+    def test_matches_format_table(self):
+        # render_columns is a declarative veneer over format_table —
+        # identical output for the same cells.
+        columns = [Column("model", "name"), Column("v", "speedup")]
+        assert render_columns(self.ROWS, columns) == format_table(
+            ["model", "v"],
+            [[r["name"], r["speedup"]] for r in self.ROWS],
+        )
+
+
+class TestYesNo:
+    def test_truthiness(self):
+        assert yes_no(True) == "yes"
+        assert yes_no(1) == "yes"
+        assert yes_no(False) == "NO"
+        assert yes_no(0) == "NO"
