@@ -171,6 +171,44 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     server.add_argument(
+        "--transport",
+        choices=("shm", "pickle"),
+        default=None,
+        help=(
+            "how batch/result tensors cross the worker boundary: "
+            "shared-memory segments or pickled queue messages "
+            "(default: shm where available; only with --workers)"
+        ),
+    )
+    server.add_argument(
+        "--fused",
+        action="store_true",
+        help=(
+            "serve on the fused executor hot path (bit-identical to "
+            "unfused, faster on the host; only with --workers)"
+        ),
+    )
+    server.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent burst-map cache directory shared by parent "
+            "and workers across runs; a second run over the same "
+            "directory reports disk-cache hits (only with --workers)"
+        ),
+    )
+    server.add_argument(
+        "--host-speed",
+        action="store_true",
+        help=(
+            "record the raw-speed before/after host-throughput pair "
+            "(unfused/pickle vs fused/shm/warm-cache) and the "
+            "fused-identity matrix in BENCH_networks.json (only "
+            "without --workers)"
+        ),
+    )
+    server.add_argument(
         "--out",
         default="results",
         help="artifact directory (default: results/)",
@@ -316,6 +354,23 @@ def _serve_bench(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.workers is None and (
+            args.transport or args.fused or args.cache_dir
+        ):
+            print(
+                "serve-bench failed: --transport/--fused/--cache-dir "
+                "configure the sharded serving runtime; add "
+                "--workers N",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers is not None and args.host_speed:
+            print(
+                "serve-bench failed: --host-speed extends the "
+                "single-process network benchmark; drop --workers",
+                file=sys.stderr,
+            )
+            return 2
         if args.workers is not None:
             if args.workers < 1:
                 print(
@@ -347,6 +402,9 @@ def _serve_bench(args) -> int:
                 engine=backend.describe(),
                 fault_rate=args.fault_rate,
                 fault_seed=args.fault_seed,
+                transport=args.transport,
+                fused=args.fused,
+                cache_dir=args.cache_dir,
                 out_dir=args.out,
             )
             rendered = render_serving_benchmark(payload)
@@ -389,6 +447,7 @@ def _serve_bench(args) -> int:
                 quick=args.quick,
                 scheduling=not args.no_schedule,
                 precision=args.precision,
+                host_speed=args.host_speed,
                 out_dir=args.out,
             )
             rendered = render_benchmark(payload)

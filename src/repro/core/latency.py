@@ -8,12 +8,20 @@ whole-CNN profiling (Figs. 7/8, Sec. V-C) fast.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import weakref
 from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
 
 import numpy as np
+
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.errors import DataflowError
 from repro.nvdla.config import CoreConfig
@@ -122,25 +130,179 @@ _burst_map_invalidations = 0
 #: forked worker sees a different ``os.getpid()`` until it clears.
 _burst_map_origin_pid = os.getpid()
 
+# ----------------------------------------------------------------------
+# Persistent (on-disk) tier
+#
+# The in-memory LRU dies with the process: every supervisor respawn,
+# every ``spawn``-mode worker and every fresh CLI invocation re-derives
+# the same burst maps from scratch.  The disk tier makes compile+warm
+# survive restarts: entries are content-addressed ``.npy`` files under a
+# shared directory, keyed by a digest of the raw weight bytes plus the
+# array geometry (k, n, burst_overhead), the unary code name and a
+# format version — so a key can never serve a map for different
+# contents, and all processes pointed at the same directory (sharded
+# workers under either start method, respawned incarnations, separate
+# benchmark runs) share one warm cache.
+#
+# Concurrency: loads take a shared ``flock`` on a sidecar lock file,
+# publishes write to a unique temp file in the same directory and
+# ``os.replace`` it into place under an exclusive lock — readers only
+# ever see a complete entry, concurrent writers of the same key are
+# idempotent (same contents), and a writer killed mid-write leaves at
+# worst an orphaned ``*.tmp`` that no reader consults.  ``flock`` drops
+# automatically when a process dies, so a crashed worker can never
+# leave an entry locked.  A truncated/corrupt entry (e.g. written by a
+# pre-atomic-rename version) is treated as a miss and atomically
+# rewritten.
+#
+# Disabled unless a directory is configured — via
+# :func:`configure_burst_map_disk_cache` or the
+# ``REPRO_BURST_CACHE_DIR`` environment variable (which child processes
+# inherit, so spawn-mode workers warm up for free).
+# ----------------------------------------------------------------------
+#: Bump when the burst-map computation or the entry layout changes:
+#: stale-format entries then miss instead of being misread.
+_DISK_CACHE_VERSION = 1
+_disk_cache_dir: "Path | None" = None
+_disk_hits = 0
+_disk_misses = 0
+_disk_writes = 0
+
+if os.environ.get("REPRO_BURST_CACHE_DIR"):
+    _disk_cache_dir = Path(os.environ["REPRO_BURST_CACHE_DIR"])
+
+
+def configure_burst_map_disk_cache(path=None) -> "Path | None":
+    """Point the persistent burst-map tier at ``path`` (``None``
+    disables it).  Returns the resolved directory, created on demand."""
+    global _disk_cache_dir
+    if path is None:
+        _disk_cache_dir = None
+        return None
+    _disk_cache_dir = Path(path)
+    _disk_cache_dir.mkdir(parents=True, exist_ok=True)
+    return _disk_cache_dir
+
+
+def burst_map_disk_cache_dir() -> "Path | None":
+    """The configured persistent cache directory (``None`` = disabled)."""
+    return _disk_cache_dir
+
+
+@contextmanager
+def _disk_lock(directory: Path, exclusive: bool):
+    """Advisory cross-process lock over one cache directory.  A no-op
+    where ``fcntl`` is unavailable — the atomic-rename publish keeps
+    readers safe regardless; the lock only serializes same-key work."""
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = directory / ".lock"
+    with open(lock_path, "a+b") as handle:
+        fcntl.flock(
+            handle, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        )
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def _disk_entry_path(
+    weights: np.ndarray, config: CoreConfig, code: UnaryCode
+) -> Path:
+    """Content-addressed entry location: a digest over the exact weight
+    bytes + geometry + code + format version."""
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(
+        repr(
+            (
+                _DISK_CACHE_VERSION,
+                tuple(weights.shape),
+                str(weights.dtype),
+                config.k,
+                config.n,
+                config.burst_overhead,
+                code.name,
+            )
+        ).encode()
+    )
+    digest.update(np.ascontiguousarray(weights).tobytes())
+    return _disk_cache_dir / f"burst-{digest.hexdigest()}.npy"
+
+
+def _disk_load(path: Path) -> "np.ndarray | None":
+    """Read one entry; any unreadable/corrupt entry is a miss."""
+    try:
+        with _disk_lock(path.parent, exclusive=False):
+            with open(path, "rb") as handle:
+                cycles = np.load(handle, allow_pickle=False)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, EOFError):
+        # Truncated or malformed (e.g. a non-atomic writer died
+        # mid-write): recompute and atomically replace.
+        return None
+    cycles = np.asarray(cycles, dtype=np.int64)
+    cycles.setflags(write=False)
+    return cycles
+
+
+def _disk_store(path: Path, cycles: np.ndarray) -> bool:
+    """Atomically publish one entry: unique temp file in the same
+    directory, fsync, then ``os.replace`` under an exclusive lock.  A
+    writer killed at any point leaves either the old entry or the new
+    one — never a truncated file at the final path."""
+    stamp = f"{os.getpid()}-{os.urandom(4).hex()}"
+    temp = path.with_name(f".{path.name}.{stamp}.tmp")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(temp, "wb") as handle:
+            np.save(handle, np.ascontiguousarray(cycles))
+            handle.flush()
+            os.fsync(handle.fileno())
+        with _disk_lock(path.parent, exclusive=True):
+            os.replace(temp, path)
+    except OSError:
+        try:
+            temp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        return False
+    return True
+
 
 def _content_fingerprint(weights: np.ndarray) -> tuple:
-    """Cheap content checksum: first/last element, wrap-around sum, and
-    a position-weighted sum.  Two vectorised O(size) passes — far
-    cheaper than recomputing the burst map.  Every single-element
-    mutation moves the plain sum; permutations and compensating
-    +d/-d pairs preserve the plain sum but move the position-weighted
-    one (a swap of unequal values at positions i < j shifts it by
-    (j - i) x (difference)), so a mutation only slips through if it
-    preserves both sums and both end elements simultaneously."""
+    """Cheap content checksum: first/last element, wrap-around sum, a
+    position-weighted sum, and a strided squared-position sample.
+    Vectorised O(size) passes — far cheaper than recomputing the burst
+    map.  Every single-element mutation moves the plain sum;
+    permutations and compensating +d/-d pairs preserve the plain sum
+    but move the position-weighted one (a swap of unequal values at
+    positions i < j shifts it by (j - i) x (difference)).  A *pair* of
+    compensating edits can be engineered to cancel in both sums while
+    leaving the end elements untouched — e.g. +1/-1 at positions (2, 6)
+    against -4/+4 at (3, 4) — which used to slip through and serve a
+    stale burst map.  The strided sample term weights up to 1024
+    sampled elements by their squared positions: for any two
+    sum-cancelling pairs it shifts by d1*(j1^2 - i1^2) + d2*(j2^2 -
+    i2^2), which only vanishes together with the linear term when both
+    pairs straddle the same position midpoint — so the engineered
+    two-pair rewrite is now caught whenever it lands on sampled
+    positions (always, for tensors up to 1024 elements)."""
     flat = weights.reshape(-1)
     if flat.size == 0:
-        return (0, 0, 0, 0)
+        return (0, 0, 0, 0, 0)
     positions = np.arange(1, flat.size + 1, dtype=np.int64)
+    stride = max(1, flat.size >> 10)
+    sampled_positions = positions[::stride]
     return (
         int(flat[0]),
         int(flat[-1]),
         int(np.sum(flat, dtype=np.int64)),
         int(np.dot(flat, positions)),
+        int(np.dot(flat[::stride],
+                   sampled_positions * sampled_positions)),
     )
 
 
@@ -175,6 +337,7 @@ def cached_burst_cycle_map(
     Returns the cached map as read-only; copy before mutating.
     """
     global _burst_map_hits, _burst_map_misses, _burst_map_invalidations
+    global _disk_hits, _disk_misses, _disk_writes
     code = code if code is not None else TwosUnaryCode()
     weights = np.asarray(weights)
     owner, key = _burst_map_key(weights, config, code)
@@ -193,8 +356,20 @@ def cached_burst_cycle_map(
         # the stale map and fall through to a recompute.
         del _burst_map_cache[key]
         _burst_map_invalidations += 1
-    cycles = burst_cycle_map(weights, config, code)
-    cycles.setflags(write=False)
+    cycles = None
+    entry_path = None
+    if _disk_cache_dir is not None:
+        entry_path = _disk_entry_path(weights, config, code)
+        cycles = _disk_load(entry_path)
+        if cycles is not None:
+            _disk_hits += 1
+        else:
+            _disk_misses += 1
+    if cycles is None:
+        cycles = burst_cycle_map(weights, config, code)
+        cycles.setflags(write=False)
+        if entry_path is not None and _disk_store(entry_path, cycles):
+            _disk_writes += 1
     try:
         owner_ref = weakref.ref(owner)
     except TypeError:
@@ -224,19 +399,31 @@ def burst_map_cache_stats() -> dict:
         "entries": len(_burst_map_cache),
         "pid": os.getpid(),
         "inherited": os.getpid() != _burst_map_origin_pid,
+        "disk_hits": _disk_hits,
+        "disk_misses": _disk_misses,
+        "disk_writes": _disk_writes,
+        "disk_dir": (
+            None if _disk_cache_dir is None else str(_disk_cache_dir)
+        ),
     }
 
 
 def clear_burst_map_cache() -> None:
-    """Drop all cached maps and reset the counters (and claim the
-    cache for the current process)."""
+    """Drop all in-memory maps and reset the counters (and claim the
+    cache for the current process).  The persistent tier's entries
+    survive — it exists precisely to outlive resets and restarts —
+    but its counters restart with the rest."""
     global _burst_map_hits, _burst_map_misses, _burst_map_invalidations
     global _burst_map_origin_pid
+    global _disk_hits, _disk_misses, _disk_writes
     _burst_map_cache.clear()
     _burst_map_hits = 0
     _burst_map_misses = 0
     _burst_map_invalidations = 0
     _burst_map_origin_pid = os.getpid()
+    _disk_hits = 0
+    _disk_misses = 0
+    _disk_writes = 0
 
 
 def layer_burst_cycles(

@@ -26,10 +26,61 @@ from repro.core.latency import burst_map_cache_stats
 from repro.nvdla.dataflow import golden_conv2d_batched
 from repro.nvdla.pdp import Pdp
 from repro.nvdla.pipeline import StageResult
-from repro.nvdla.sdp import Sdp
+from repro.nvdla.sdp import Sdp, _rounded_shift
 from repro.runtime.backends import DEFAULT_BACKEND, ComputeBackend, \
     backend_profile, get_backend, resolve_stage_backends
 from repro.runtime.lowering import CompiledNetwork, StagePlan
+
+
+class _FusedStage:
+    """Precomputed execution plan for one stage on the fused path.
+
+    Built lazily on the first fused batch: the per-group weight tensors
+    are stacked into one (G, Kg, Cg, R, S) block so a single grouped
+    einsum per kernel-window position covers every group at once
+    (depthwise layers collapse from C python-loop iterations to R*S),
+    the per-group schedule permutations are flattened into one gather
+    index over the full channel/kernel axes, and the stage's analytic
+    per-image cycles are memoized (they depend only on the weights and
+    the backend, both fixed for the executor's lifetime).
+    """
+
+    __slots__ = ("weights", "channel_gather", "kernel_restore", "cycles")
+
+    def __init__(self, stage: StagePlan, cycles: int) -> None:
+        self.weights = np.stack(
+            [np.asarray(tensor) for tensor in stage.weights]
+        )
+        groups, kernels_per_group, channels_per_group = \
+            self.weights.shape[:3]
+        self.channel_gather = _flat_permutation(
+            (
+                None if schedule is None else schedule.channel_order
+                for schedule in stage.schedules
+            ),
+            groups,
+            channels_per_group,
+        )
+        self.kernel_restore = _flat_permutation(
+            stage.kernel_restores, groups, kernels_per_group
+        )
+        self.cycles = cycles
+
+
+def _flat_permutation(per_group, groups: int, width: int):
+    """Fuse per-group index permutations into one gather over the flat
+    (group-major) axis; ``None`` when every group is the identity."""
+    orders = list(per_group)
+    if all(order is None for order in orders):
+        return None
+    flat = np.empty(groups * width, dtype=np.intp)
+    for group, order in enumerate(orders):
+        base = group * width
+        if order is None:
+            flat[base : base + width] = np.arange(base, base + width)
+        else:
+            flat[base : base + width] = base + np.asarray(order)
+    return flat
 
 
 def fit_channels(
@@ -81,12 +132,23 @@ class BatchExecutor:
             ``"first/interior/last"`` spec) mixes backends per stage.
             Outputs are backend-independent (every backend computes the
             exact integer convolution); only cycle accounting differs.
+        fused: run the fused hot path — im2col window extraction,
+            grouped quantized matmul and SDP requantization in one
+            vectorized pass per stage with reused scratch buffers and
+            memoized cycle accounting.  Bit-identical (outputs and
+            cycles) to the unfused path on every backend and precision;
+            pinned by the randomized differential suite in
+            ``tests/runtime/test_fused.py``.
     """
 
     def __init__(
-        self, net: CompiledNetwork, engine: "str | None" = None
+        self,
+        net: CompiledNetwork,
+        engine: "str | None" = None,
+        fused: bool = False,
     ) -> None:
         self.net = net
+        self.fused = bool(fused)
         self.stage_backends: "tuple[ComputeBackend, ...]" = \
             resolve_stage_backends(net, engine)
         if engine is None:
@@ -94,6 +156,11 @@ class BatchExecutor:
             self.engine = names.pop() if len(names) == 1 else "mixed"
         else:
             self.engine = backend_profile(engine).describe()
+        # Fused-path state: per-stage plans (stacked weights, fused
+        # permutations, memoized cycles) and reusable scratch buffers,
+        # keyed by stage index + role; both built lazily on first use.
+        self._fused_stages: "dict[int, _FusedStage]" = {}
+        self._scratch: "dict[tuple, np.ndarray]" = {}
 
     # ------------------------------------------------------------------
     def run_batch(
@@ -112,9 +179,18 @@ class BatchExecutor:
         records: list[StageResult] = []
         current = images
         total_cycles = 0
-        for stage, backend in zip(self.net.stages, self.stage_backends):
+        for index, (stage, backend) in enumerate(
+            zip(self.net.stages, self.stage_backends)
+        ):
             current = self._fit_batch(stage, current, records)
-            current, cycles = self._conv_batched(stage, current, backend)
+            if self.fused:
+                current, cycles = self._conv_fused(
+                    index, stage, current, backend
+                )
+            else:
+                current, cycles = self._conv_batched(
+                    stage, current, backend
+                )
             cycles *= images.shape[0]
             total_cycles += cycles
             records.append(
@@ -147,6 +223,15 @@ class BatchExecutor:
             "cache": {
                 "hits": after["hits"] - before["hits"],
                 "misses": after["misses"] - before["misses"],
+                "disk_hits": (
+                    after["disk_hits"] - before["disk_hits"]
+                ),
+                "disk_misses": (
+                    after["disk_misses"] - before["disk_misses"]
+                ),
+                "disk_writes": (
+                    after["disk_writes"] - before["disk_writes"]
+                ),
             },
         }
 
@@ -207,6 +292,144 @@ class BatchExecutor:
             else outputs[0]
         )
         return Sdp(stage.sdp).apply_many(psums), cycles
+
+    # --- fused hot path -----------------------------------------------
+    def _scratch_buf(self, key: tuple, shape: tuple) -> np.ndarray:
+        """Reusable int64 scratch, reallocated only on shape change
+        (e.g. a different batch size).  Fresh buffers are zeroed, so
+        padded-input borders stay zero across reuses as long as only
+        the interior is rewritten."""
+        buffer = self._scratch.get(key)
+        if buffer is None or buffer.shape != shape:
+            buffer = np.zeros(shape, dtype=np.int64)
+            self._scratch[key] = buffer
+        return buffer
+
+    def _fused_stage(
+        self, index: int, stage: StagePlan, backend: ComputeBackend
+    ) -> _FusedStage:
+        plan = self._fused_stages.get(index)
+        if plan is None:
+            cycles = sum(
+                self.group_cycles(stage, weights, backend)
+                for weights in stage.weights
+            )
+            plan = _FusedStage(stage, cycles)
+            self._fused_stages[index] = plan
+        return plan
+
+    def _conv_fused(
+        self,
+        index: int,
+        stage: StagePlan,
+        batch: np.ndarray,
+        backend: ComputeBackend,
+    ) -> tuple[np.ndarray, int]:
+        """Fused equivalent of :meth:`_conv_batched` + SDP: one grouped
+        einsum per kernel-window position over *all* groups at once,
+        accumulating into a reused scratch tensor, with the SDP
+        requantization applied in place on the accumulator.  Every
+        operation is the same exact int64 arithmetic as the unfused
+        path (integer addition is order-independent), so outputs and
+        cycles are bit-identical — only the loop structure and
+        allocation behavior differ."""
+        plan = self._fused_stage(index, stage, backend)
+        layer = stage.layer
+        stride = layer.stride
+        pad_h, pad_w = layer.padding_h, layer.padding_w
+        groups, kernels_per_group, channels_per_group, kernel_h, \
+            kernel_w = plan.weights.shape
+        batch_size, channels, height, width = batch.shape
+        if pad_h or pad_w:
+            padded = self._scratch_buf(
+                ("pad", index),
+                (batch_size, channels,
+                 height + 2 * pad_h, width + 2 * pad_w),
+            )
+            padded[:, :, pad_h : pad_h + height,
+                   pad_w : pad_w + width] = batch
+        else:
+            padded = np.asarray(batch, dtype=np.int64)
+        if plan.channel_gather is not None:
+            gathered = self._scratch_buf(
+                ("gather", index), padded.shape
+            )
+            np.take(padded, plan.channel_gather, axis=1, out=gathered)
+            padded = gathered
+        grouped = padded.reshape(
+            batch_size, groups, channels_per_group, *padded.shape[2:]
+        )
+        out_height = (padded.shape[2] - kernel_h) // stride + 1
+        out_width = (padded.shape[3] - kernel_w) // stride + 1
+        psums = self._scratch_buf(
+            ("psum", index),
+            (batch_size, groups, kernels_per_group,
+             out_height, out_width),
+        )
+        partial = (
+            self._scratch_buf(("partial", index), psums.shape)
+            if kernel_h * kernel_w > 1
+            else psums
+        )
+        position = 0
+        for tap_y in range(kernel_h):
+            for tap_x in range(kernel_w):
+                window = grouped[
+                    :,
+                    :,
+                    :,
+                    tap_y : tap_y + stride * out_height : stride,
+                    tap_x : tap_x + stride * out_width : stride,
+                ]
+                np.einsum(
+                    "gkc,bgcyx->bgkyx",
+                    plan.weights[:, :, :, tap_y, tap_x],
+                    window,
+                    out=psums if position == 0 else partial,
+                )
+                if position:
+                    psums += partial
+                position += 1
+        values = psums.reshape(
+            batch_size, groups * kernels_per_group,
+            out_height, out_width,
+        )
+        if plan.kernel_restore is not None:
+            values = np.take(values, plan.kernel_restore, axis=1)
+        return self._sdp_fused(stage, values), plan.cycles
+
+    def _sdp_fused(
+        self, stage: StagePlan, values: np.ndarray
+    ) -> np.ndarray:
+        """In-place SDP requantization on the (possibly scratch-backed)
+        accumulator — op-for-op the integer arithmetic of
+        :meth:`repro.nvdla.sdp.Sdp.apply_many`.  The returned array is
+        always a fresh copy, so callers never alias scratch buffers
+        that the next batch will overwrite."""
+        config = stage.sdp
+        if config.bias is not None:
+            values += np.asarray(config.bias, dtype=np.int64)[
+                None, :, None, None
+            ]
+        if config.activation == "relu":
+            np.maximum(values, 0, out=values)
+        elif config.activation == "prelu":
+            negative = _rounded_shift(
+                values * config.prelu_multiplier, config.prelu_shift
+            )
+            values = np.where(values >= 0, values, negative)
+        values *= config.multiplier
+        if config.shift:
+            offset = 1 << (config.shift - 1)
+            signs = np.sign(values)
+            np.abs(values, out=values)
+            values += offset
+            values >>= config.shift
+            values *= signs
+        spec = config.out_precision
+        return np.clip(values, spec.min_value, spec.max_value).astype(
+            np.int64
+        )
 
     def group_cycles(
         self,

@@ -107,6 +107,7 @@ class NetworkRunner:
         input_size: int | None = None,
         code: UnaryCode | None = None,
         precision=None,
+        fused: bool = False,
     ) -> None:
         """Args:
         config: MAC-array geometry/precision (defaults to 16x16 INT8).
@@ -123,6 +124,11 @@ class NetworkRunner:
             format.  Defaults to uniform at ``config.precision``.
             When a profile is given, the array geometry is provisioned
             at the profile's widest member (``config`` supplies k/n).
+        fused: run batches on the executor's fused hot path (one
+            vectorized im2col + grouped matmul + SDP pass per stage
+            with scratch reuse) — bit-identical in outputs and cycles
+            to the default path; see
+            :class:`~repro.runtime.executor.BatchExecutor`.
         """
         self.backend_profile = backend_profile(engine)
         self.config = config if config is not None else CoreConfig()
@@ -139,6 +145,7 @@ class NetworkRunner:
         self.scale = scale
         self.input_size = input_size
         self.code = code
+        self.fused = bool(fused)
         self._compiled: dict[str, CompiledNetwork] = {}
         self._executors: dict[str, BatchExecutor] = {}
 
@@ -169,7 +176,7 @@ class NetworkRunner:
             # engine=None: account on the per-stage backends recorded
             # at lowering (this runner's backend profile).
             self._executors[model_name] = BatchExecutor(
-                self.compile(model_name), None
+                self.compile(model_name), None, fused=self.fused
             )
         return self._executors[model_name]
 
@@ -342,6 +349,13 @@ class NetworkRunner:
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / lookups if lookups else 0.0,
+            "disk_hits": after["disk_hits"] - before["disk_hits"],
+            "disk_misses": (
+                after["disk_misses"] - before["disk_misses"]
+            ),
+            "disk_writes": (
+                after["disk_writes"] - before["disk_writes"]
+            ),
         }
 
     # --- seam adapters (per-image) ------------------------------------

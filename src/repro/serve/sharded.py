@@ -46,12 +46,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.latency import configure_burst_map_disk_cache
 from repro.errors import DataflowError
 from repro.nvdla.pipeline import StageResult
 from repro.runtime.executor import BatchExecutor
 from repro.runtime.lowering import CompiledNetwork
 from repro.runtime.runner import NetworkResult, NetworkRunner
 from repro.serve.queue import Request, RequestQueue
+from repro.serve.shm import ShmArena, ShmRef, default_transport, \
+    shm_available
 from repro.serve.supervisor import ShardSupervisor
 
 
@@ -85,16 +88,33 @@ class ShardedResult(NetworkResult):
 
 
 def _worker_main(
-    payload, shard_index, job_queue, result_queue, fault_plan=None
+    payload,
+    shard_index,
+    job_queue,
+    result_queue,
+    fault_plan=None,
+    shm_prefix=None,
 ) -> None:
     """Shard worker loop: execute dispatched batches until poisoned.
 
-    Runs in a child process.  ``payload`` is ``(net, engine)`` — with
-    the ``fork`` start method it arrives by inheritance, with ``spawn``
-    it is pickled.  Every job is executed through the same
-    :class:`BatchExecutor` the single-process runner uses; ``engine``
-    is None so the executor accounts on the per-stage compute backends
-    recorded in the compiled network at lowering.
+    Runs in a child process.  ``payload`` is ``(net, engine, fused,
+    cache_dir)`` — with the ``fork`` start method it arrives by
+    inheritance, with ``spawn`` it is pickled.  Every job is executed
+    through the same :class:`BatchExecutor` the single-process runner
+    uses; ``engine`` is None so the executor accounts on the per-stage
+    compute backends recorded in the compiled network at lowering,
+    ``fused`` selects the executor's fused hot path, and ``cache_dir``
+    points the worker at the shared persistent burst-map cache (so
+    spawn-mode and respawned workers warm from disk instead of
+    recomputing).
+
+    ``shm_prefix`` enables the shared-memory transport: job messages
+    then carry :class:`~repro.serve.shm.ShmRef` handles into the
+    supervisor's job arena instead of pickled tensors, and this worker
+    parks each result's output tensor in its own flagged arena under
+    ``shm_prefix``.  The arena is unlinked on clean exit; the
+    supervisor sweeps it too (crashed incarnations never run the
+    ``finally``).
 
     When a :class:`~repro.serve.faults.FaultPlan` is given, the worker
     consults it before every job and acts the scheduled fault out:
@@ -107,13 +127,42 @@ def _worker_main(
     worker-side stack — so the parent's :class:`DataflowError` names
     the failing stage and line instead of a bare ``repr``.
     """
-    net, engine = payload
-    executor = BatchExecutor(net, engine)
+    net, engine, fused, cache_dir = payload
+    if cache_dir is not None:
+        configure_burst_map_disk_cache(cache_dir)
+    executor = BatchExecutor(net, engine, fused=fused)
+    arena = (
+        ShmArena(shm_prefix, flagged=True)
+        if shm_prefix is not None
+        else None
+    )
+    try:
+        _worker_loop(
+            executor,
+            shard_index,
+            job_queue,
+            result_queue,
+            fault_plan,
+            arena,
+        )
+    finally:
+        if arena is not None:
+            arena.close()
+
+
+def _worker_loop(
+    executor, shard_index, job_queue, result_queue, fault_plan, arena
+) -> None:
     while True:
         job = job_queue.get()
         if job is None:
             break
         job_id, attempt, images = job
+        if isinstance(images, ShmRef):
+            # Private copy: the parent recycles the job slot the
+            # moment the job finishes on *any* path, and this worker
+            # may be executing a redispatched job's stale attempt.
+            images = ShmArena.take(images)
         fault = (
             fault_plan.fault_for(shard_index, job_id, attempt)
             if fault_plan is not None
@@ -144,6 +193,8 @@ def _worker_main(
             time.sleep(fault.seconds)  # slow
         try:
             record = executor.run_job(np.asarray(images))
+            if arena is not None:
+                record["output"] = arena.place(record["output"])
             result_queue.put(
                 (shard_index, job_id, attempt, record, None)
             )
@@ -197,6 +248,9 @@ class ShardedRunner:
         restart_backoff: float = 0.05,
         min_live: int = 1,
         max_attempts: int = 5,
+        transport: "str | None" = None,
+        fused: bool = False,
+        cache_dir=None,
     ) -> None:
         """Serving-specific args (see :class:`NetworkRunner` for the
         rest):
@@ -205,6 +259,18 @@ class ShardedRunner:
             pick the saturation policy ("block" applies backpressure
             to submitters, "reject" sheds load with a
             :class:`DataflowError`).
+        transport: how batch/result tensors cross the process
+            boundary — "shm" (shared-memory arenas, the default where
+            the host supports them) or "pickle" (through the queues).
+            Transport choice cannot affect results: both paths feed
+            the same executor the same bytes.
+        fused: run every execution path (workers *and* the degraded
+            in-process fallback) on the executor's fused hot path —
+            bit-identical in outputs and cycles to unfused.
+        cache_dir: persistent burst-map cache directory shared by the
+            parent and every worker incarnation (None keeps whatever
+            :func:`repro.core.latency.configure_burst_map_disk_cache`
+            or ``REPRO_BURST_CACHE_DIR`` already configured).
         fault_plan: a :class:`~repro.serve.faults.FaultPlan` every
             worker consults (deterministic chaos injection).
         job_deadline: seconds a dispatched batch may stay in flight
@@ -243,6 +309,16 @@ class ShardedRunner:
                 "job_deadline — hung shards are only detectable by "
                 "deadline"
             )
+        if transport is None:
+            transport = default_transport()
+        if transport not in ("pickle", "shm"):
+            raise DataflowError(
+                f"transport must be 'pickle' or 'shm', got {transport!r}"
+            )
+        if transport == "shm" and not shm_available():
+            raise DataflowError(
+                "transport='shm' needs multiprocessing.shared_memory"
+            )
         self.workers = workers
         self.max_batch = max_batch
         self.max_wait = max_wait
@@ -254,6 +330,14 @@ class ShardedRunner:
         self.restart_backoff = restart_backoff
         self.min_live = min_live
         self.max_attempts = max_attempts
+        self.transport = transport
+        self.fused = bool(fused)
+        self.cache_dir = (
+            None if cache_dir is None else str(cache_dir)
+        )
+        if self.cache_dir is not None:
+            # The parent compiles (and so warms the cache) too.
+            configure_burst_map_disk_cache(self.cache_dir)
         self._runner = NetworkRunner(
             config,
             engine=engine,
@@ -262,6 +346,7 @@ class ShardedRunner:
             input_size=input_size,
             code=code,
             precision=precision,
+            fused=fused,
         )
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
@@ -317,10 +402,10 @@ class ShardedRunner:
         net = self.compile(model_name)
         # engine=None: workers account on the per-stage backends the
         # compiled network carries (the runner's backend profile).
-        payload = (net, None)
+        payload = (net, None, self.fused, self.cache_dir)
         # The degraded path runs the parent's own executor — the same
-        # BatchExecutor code path the shards run, so degraded batches
-        # stay bit-identical in outputs and cycles.
+        # BatchExecutor code path (and fused setting) the shards run,
+        # so degraded batches stay bit-identical in outputs and cycles.
         fallback = self._runner.executor(model_name).run_job
         self._supervisor = ShardSupervisor(
             self._ctx,
@@ -334,6 +419,7 @@ class ShardedRunner:
             min_live=self.min_live,
             max_attempts=self.max_attempts,
             fallback=fallback,
+            transport=self.transport,
         )
         self._model = model_name
 
@@ -441,6 +527,8 @@ class ShardedRunner:
         degraded_cycles = 0
         cache_hits = 0
         cache_misses = 0
+        disk_cache = {"disk_hits": 0, "disk_misses": 0,
+                      "disk_writes": 0}
         for _ in range(len(jobs)):
             job_id, shard_index, record = supervisor.next_result()
             requests = jobs[job_id]
@@ -453,6 +541,8 @@ class ShardedRunner:
                 shard_cycles[shard_index] += record["conv_cycles"]
             cache_hits += record["cache"]["hits"]
             cache_misses += record["cache"]["misses"]
+            for key in disk_cache:
+                disk_cache[key] += record["cache"].get(key, 0)
             if stage_cycles is None:
                 stage_cycles = list(record["stage_cycles"])
                 stage_meta = record["stage_meta"]
@@ -478,6 +568,7 @@ class ShardedRunner:
         health = supervisor.health()
         health["degraded_cycles"] = int(degraded_cycles)
         health["queue"] = queue.stats()
+        health["fused"] = self.fused
         if self.fault_plan is not None:
             health["fault_plan"] = self.fault_plan.describe()
         lookups = cache_hits + cache_misses
@@ -493,6 +584,7 @@ class ShardedRunner:
                 "hits": cache_hits,
                 "misses": cache_misses,
                 "hit_rate": cache_hits / lookups if lookups else 0.0,
+                **disk_cache,
             },
             shard_cycles=tuple(shard_cycles),
             jobs=len(jobs),

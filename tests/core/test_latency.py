@@ -11,6 +11,7 @@ from repro.core.latency import (
     burst_map_cache_stats,
     cached_burst_cycle_map,
     clear_burst_map_cache,
+    configure_burst_map_disk_cache,
     layer_burst_cycles,
     tile_idle_cell_counts,
     tile_max_magnitudes,
@@ -171,6 +172,42 @@ class TestBurstMapCache:
         assert not np.array_equal(after, before)
         assert burst_map_cache_stats()["invalidations"] == 1
 
+    def test_two_pair_compensating_edit_invalidates(self):
+        """Regression: two compensating edit pairs engineered to cancel
+        in the plain sum AND the position-weighted sum used to slip
+        through the fingerprint and serve a stale burst map.  With
+        1-indexed positions, +1/-1 at positions (2, 6) against -4/+4 at
+        (3, 4) shifts the linear term by 1*2 - 1*6 - 4*3 + 4*4 = 0 while
+        leaving the end elements and the plain sum untouched.  The
+        squared-position sample term shifts by 1*4 - 1*36 - 4*9 + 4*16 =
+        -4, so the mutation is now detected."""
+        clear_burst_map_cache()
+        config = CoreConfig(k=1, n=1)
+        weights = np.array(
+            [1, 2, 8, 8, 2, 3, 1, 1], dtype=np.int64
+        ).reshape(8, 1, 1, 1)
+        before = cached_burst_cycle_map(weights, config).copy()
+        flat = weights.reshape(-1)
+        old = flat.copy()
+        flat[1] += 1
+        flat[5] -= 1
+        flat[2] -= 4
+        flat[3] += 4
+        # The edit preserves every pre-fix fingerprint component...
+        positions = np.arange(1, flat.size + 1, dtype=np.int64)
+        assert flat[0] == old[0] and flat[-1] == old[-1]
+        assert int(flat.sum()) == int(old.sum())
+        assert int(np.dot(flat, positions)) == int(
+            np.dot(old, positions)
+        )
+        # ...but changes tile maxima, so serving the cached map would
+        # be wrong.
+        after = cached_burst_cycle_map(weights, config)
+        assert np.array_equal(after, burst_cycle_map(weights, config))
+        assert not np.array_equal(after, before)
+        assert burst_map_cache_stats()["invalidations"] == 1
+        assert burst_map_cache_stats()["hits"] == 0
+
     def test_mutation_invalidation_then_rehits(self):
         """After an invalidation the fresh map is cached again."""
         clear_burst_map_cache()
@@ -283,6 +320,129 @@ class TestBurstMapCacheAcrossFork:
         stats = burst_map_cache_stats()
         assert stats["inherited"] is False
         assert stats["pid"] > 0
+
+
+def _disk_child_probe(weights, cache_dir, conn):
+    """Runs in a spawned worker with a cold in-memory cache: the
+    shared persistent tier must satisfy the lookup without recompute."""
+    from repro.core.latency import (
+        burst_map_cache_stats,
+        cached_burst_cycle_map,
+        clear_burst_map_cache,
+        configure_burst_map_disk_cache,
+    )
+    from repro.nvdla.config import CoreConfig
+
+    clear_burst_map_cache()
+    configure_burst_map_disk_cache(cache_dir)
+    cycles = cached_burst_cycle_map(weights, CoreConfig(k=2, n=2))
+    conn.send(
+        {
+            "stats": burst_map_cache_stats(),
+            "cycles": np.asarray(cycles),
+        }
+    )
+    conn.close()
+
+
+class TestBurstMapDiskCache:
+    """The persistent tier: compile+warm must survive process death."""
+
+    @pytest.fixture(autouse=True)
+    def disk_dir(self, tmp_path):
+        clear_burst_map_cache()
+        directory = configure_burst_map_disk_cache(tmp_path / "burst")
+        yield directory
+        configure_burst_map_disk_cache(None)
+        clear_burst_map_cache()
+
+    config = CoreConfig(k=2, n=2)
+
+    def _entries(self, disk_dir):
+        return sorted(disk_dir.glob("burst-*.npy"))
+
+    def test_cold_miss_publishes_entry(self, disk_dir, rng):
+        weights = rng.integers(-128, 128, (4, 4, 3, 3))
+        cycles = cached_burst_cycle_map(weights, self.config)
+        stats = burst_map_cache_stats()
+        assert stats["disk_misses"] == 1
+        assert stats["disk_writes"] == 1
+        assert stats["disk_hits"] == 0
+        (entry,) = self._entries(disk_dir)
+        assert np.array_equal(np.load(entry), cycles)
+
+    def test_warm_entry_survives_memory_clear(self, disk_dir, rng):
+        weights = rng.integers(-128, 128, (4, 4, 3, 3))
+        first = cached_burst_cycle_map(weights, self.config).copy()
+        clear_burst_map_cache()  # simulate a restart
+        second = cached_burst_cycle_map(weights, self.config)
+        stats = burst_map_cache_stats()
+        assert stats["disk_hits"] == 1
+        assert stats["disk_misses"] == 0
+        assert np.array_equal(second, first)
+        assert not second.flags.writeable
+
+    def test_distinct_geometry_gets_distinct_entries(self, disk_dir, rng):
+        weights = rng.integers(-128, 128, (4, 4, 3, 3))
+        cached_burst_cycle_map(weights, CoreConfig(k=2, n=2))
+        cached_burst_cycle_map(weights, CoreConfig(k=4, n=4))
+        assert len(self._entries(disk_dir)) == 2
+
+    def test_corrupt_entry_is_recomputed_and_replaced(self, disk_dir, rng):
+        weights = rng.integers(-128, 128, (4, 4, 3, 3))
+        expected = cached_burst_cycle_map(weights, self.config).copy()
+        (entry,) = self._entries(disk_dir)
+        # A pre-atomic-rename writer dying mid-write left a truncated
+        # entry: that must read as a miss, not an exception or garbage.
+        entry.write_bytes(entry.read_bytes()[:11])
+        clear_burst_map_cache()
+        cycles = cached_burst_cycle_map(weights, self.config)
+        stats = burst_map_cache_stats()
+        assert stats["disk_hits"] == 0
+        assert stats["disk_misses"] == 1
+        assert stats["disk_writes"] == 1
+        assert np.array_equal(cycles, expected)
+        # ...and the entry was atomically repaired for the next reader.
+        clear_burst_map_cache()
+        cached_burst_cycle_map(weights, self.config)
+        assert burst_map_cache_stats()["disk_hits"] == 1
+
+    def test_no_temp_files_left_behind(self, disk_dir, rng):
+        for _ in range(4):
+            weights = rng.integers(-128, 128, (4, 4, 3, 3))
+            cached_burst_cycle_map(weights, self.config)
+        leftovers = [
+            p for p in disk_dir.iterdir() if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_in_memory_hit_skips_disk(self, disk_dir, rng):
+        weights = rng.integers(-128, 128, (4, 4, 3, 3))
+        cached_burst_cycle_map(weights, self.config)
+        cached_burst_cycle_map(weights, self.config)
+        stats = burst_map_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["disk_misses"] == 1  # only the cold lookup
+
+    def test_spawned_process_shares_warm_entries(self, disk_dir, rng):
+        """A fresh process (cold LRU, as after a supervisor respawn or
+        under the spawn start method) is satisfied from disk."""
+        weights = rng.integers(-128, 128, (4, 4, 3, 3))
+        parent_map = cached_burst_cycle_map(weights, self.config)
+        ctx = multiprocessing.get_context("spawn")
+        receiver, sender = ctx.Pipe(duplex=False)
+        child = ctx.Process(
+            target=_disk_child_probe,
+            args=(weights, str(disk_dir), sender),
+        )
+        child.start()
+        assert receiver.poll(60), "disk-cache child never reported"
+        report = receiver.recv()
+        child.join(timeout=60)
+        assert child.exitcode == 0
+        assert report["stats"]["disk_hits"] == 1
+        assert report["stats"]["disk_misses"] == 0
+        assert np.array_equal(report["cycles"], parent_map)
 
 
 class TestTileGatingCounts:
