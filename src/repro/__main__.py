@@ -17,6 +17,10 @@ Usage::
     python -m repro serve-bench --workers 2 --fault-rate 0.15
                                              # chaos serving (seeded
                                              # deterministic faults)
+    python -m repro serve-bench --llm --tokens 64
+                                             # autoregressive LLM
+                                             # decode: per-token
+                                             # latency on all backends
     python -m repro tune --net mobilenet_v2  # design-space autotuner:
                                              # Pareto frontier over
                                              # backend x precision x
@@ -209,6 +213,28 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     server.add_argument(
+        "--llm",
+        action="store_true",
+        help=(
+            "benchmark token-by-token autoregressive decode of the "
+            "extension transformer block instead: growing-sequence "
+            "GEMM shapes on every registered backend x int8/int4/int2 "
+            "with per-token latency percentiles (writes "
+            "BENCH_llm.json; --workers caps the sharded "
+            "re-verification pool)"
+        ),
+    )
+    server.add_argument(
+        "--tokens",
+        type=int,
+        default=None,
+        metavar="T",
+        help=(
+            "decode length for --llm (default: the preset input size "
+            "— 64 full, 32 quick)"
+        ),
+    )
+    server.add_argument(
         "--out",
         default="results",
         help="artifact directory (default: results/)",
@@ -324,12 +350,15 @@ def _serve_bench(args) -> int:
     # stack, which `repro list` does not need.
     from repro.errors import ReproError
     from repro.runtime.bench import (
+        DEFAULT_LLM_WORKERS,
         DEFAULT_MODELS,
         DEFAULT_SERVING_MODELS,
         render_backend_benchmark,
         render_benchmark,
+        render_llm_benchmark,
         render_serving_benchmark,
         run_backend_benchmark,
+        run_llm_benchmark,
         run_network_benchmark,
         run_serving_benchmark,
     )
@@ -364,6 +393,70 @@ def _serve_bench(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.tokens is not None and not args.llm:
+            print(
+                "serve-bench failed: --tokens sizes the autoregressive "
+                "decode; add --llm",
+                file=sys.stderr,
+            )
+            return 2
+        if args.llm:
+            unsupported = [
+                flag
+                for flag, value in (
+                    ("--models", args.models),
+                    ("--batch", args.batch),
+                    ("--fault-rate", args.fault_rate or None),
+                    ("--transport", args.transport),
+                    ("--fused", args.fused or None),
+                    ("--cache-dir", args.cache_dir),
+                    ("--host-speed", args.host_speed or None),
+                )
+                if value
+            ]
+            if unsupported:
+                print(
+                    "serve-bench failed: "
+                    f"{'/'.join(unsupported)} do(es) not apply to the "
+                    "--llm decode scenario",
+                    file=sys.stderr,
+                )
+                return 2
+            if not backend.is_uniform:
+                print(
+                    "serve-bench failed: --llm sweeps every registered "
+                    "backend; drop the mixed --backend profile",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.tokens is not None and args.tokens < 1:
+                print(
+                    "serve-bench failed: --tokens must be >= 1",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.workers is not None and args.workers < 1:
+                print(
+                    "serve-bench failed: --workers must be >= 1",
+                    file=sys.stderr,
+                )
+                return 2
+            payload = run_llm_benchmark(
+                tokens=args.tokens,
+                quick=args.quick,
+                scheduling=not args.no_schedule,
+                sharded_workers=(
+                    _worker_sweep(args.workers)
+                    if args.workers is not None
+                    else DEFAULT_LLM_WORKERS
+                ),
+                out_dir=args.out,
+            )
+            rendered = render_llm_benchmark(payload)
+            print(rendered)
+            if "artifact" in payload:
+                print(f"\nwrote {payload['artifact']}")
+            return 0
         if args.workers is not None and args.host_speed:
             print(
                 "serve-bench failed: --host-speed extends the "

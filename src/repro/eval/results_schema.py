@@ -208,6 +208,57 @@ def _pareto_records(payload: dict) -> list:
     ]
 
 
+def _llm_records(payload: dict) -> list:
+    records = []
+    for entry in payload["records"]:
+        for flag in (
+            "bit_identical",
+            "sharded_bit_identical",
+            "matvec_parity",
+        ):
+            if not entry[flag]:
+                raise DataflowError(
+                    f"llm record {entry['backend']}/"
+                    f"{entry['precision']}: {flag} is false"
+                )
+        per_token = entry["per_token"]
+        if len(per_token) != int(entry["tokens"]):
+            raise DataflowError(
+                f"llm record {entry['backend']}/{entry['precision']}: "
+                f"expected {entry['tokens']} per-token points, got "
+                f"{len(per_token)}"
+            )
+        series = [int(point["conv_cycles"]) for point in per_token]
+        if any(
+            later < earlier
+            for earlier, later in zip(series, series[1:])
+        ):
+            raise DataflowError(
+                f"llm record {entry['backend']}/{entry['precision']}: "
+                "per-token cycles are not monotone nondecreasing — "
+                "a growing prefix cannot cost fewer cycles"
+            )
+        if int(entry["conv_cycles"]) != series[-1]:
+            raise DataflowError(
+                f"llm record {entry['backend']}/{entry['precision']}: "
+                "conv_cycles does not match the final decode step"
+            )
+        for percentile in ("p50", "p90", "p99"):
+            if float(entry["latency_cycles"][percentile]) < 0.0:
+                raise DataflowError(
+                    f"llm record {entry['backend']}/"
+                    f"{entry['precision']}: negative latency "
+                    f"percentile {percentile}"
+                )
+        records.append(
+            _record(
+                entry["net"], entry["backend"], entry["precision"],
+                entry["conv_cycles"],
+            )
+        )
+    return records
+
+
 def _engine_speed_records(payload: list) -> list:
     # Pre-schema trajectory entries carry the layer geometry but no
     # explicit net/backend/precision; the microbenchmark has always
@@ -231,6 +282,7 @@ NORMALIZERS = {
     "BENCH_precision.json": _precision_records,
     "BENCH_backends.json": _backend_records,
     "BENCH_engine.json": _engine_speed_records,
+    "BENCH_llm.json": _llm_records,
     "BENCH_faults.json": _fault_records,
     "BENCH_pareto.json": _pareto_records,
 }

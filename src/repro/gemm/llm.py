@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.latency import burst_cycle_map
+from repro.core.latency import cached_burst_cycle_map
 from repro.errors import DataflowError
 from repro.nvdla.config import CoreConfig
 from repro.unary.encoding import TwosUnaryCode, UnaryCode
@@ -100,9 +100,11 @@ class TubMatVec:
         activations = self.activation_spec.check_array(activations)
 
         # GEMV == 1x1 convolution over a 1x1 "image": reuse the conv
-        # burst model directly.
-        conv_view = weights[:, :, None, None]
-        bursts = burst_cycle_map(conv_view, self.config, self.code)
+        # burst model directly.  The cached variant shares the runtime's
+        # burst-map cache, so a projection profiled here and then lowered
+        # through the executor pays the tile scan once.
+        conv_view = np.ascontiguousarray(weights[:, :, None, None])
+        bursts = cached_burst_cycle_map(conv_view, self.config, self.code)
         tiles = int(bursts.size)
         return MatVecResult(
             output=weights @ activations,
@@ -110,6 +112,54 @@ class TubMatVec:
             binary_cycles=tiles,
             tiles=tiles,
         )
+
+
+def project_linear_stage(
+    stage,
+    activations: np.ndarray | None = None,
+    code: UnaryCode | None = None,
+) -> MatVecResult:
+    """Run one lowered linear stage's per-token GEMV through
+    :class:`TubMatVec`.
+
+    ``stage`` is a :class:`~repro.runtime.lowering.StagePlan` whose layer
+    is a ``LinearSpec``.  The engine streams the stage's own
+    (schedule-permuted) weight tiles at the stage's geometry, so the
+    result is the per-token latency the executor's value-aware
+    accounting charges that stage:
+
+    * tempus: ``tempus_cycles * tokens + pipeline_latency + 1``
+    * binary: ``binary_cycles * tokens + pipeline_latency``
+    * tubgemm: ``tempus_cycles * tokens`` exactly
+
+    Args:
+        stage: a lowered ``StagePlan`` for a ``LinearSpec`` op.
+        activations: optional (d_in,) vector; zeros when omitted (the
+            latency model is activation-independent).
+        code: unary code override (defaults to the stage-agnostic
+            2s-unary, matching the runtime default).
+    """
+    from repro.models.layers import LinearSpec
+
+    if not isinstance(stage.layer, LinearSpec):
+        raise DataflowError(
+            f"{stage.name}: expected a LinearSpec stage, got "
+            f"{type(stage.layer).__name__}"
+        )
+    if len(stage.weights) != 1:
+        raise DataflowError(
+            f"{stage.name}: grouped linear stages are not GEMVs"
+        )
+    engine = TubMatVec(
+        config=stage.config,
+        weight_precision=stage.precision,
+        activation_precision=stage.precision,
+        code=code,
+    )
+    matrix = np.asarray(stage.weights[0])[:, :, 0, 0]
+    if activations is None:
+        activations = np.zeros(matrix.shape[1], dtype=np.int64)
+    return engine.project(matrix, activations)
 
 
 @dataclass(frozen=True)

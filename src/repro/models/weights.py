@@ -25,7 +25,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.errors import CalibrationError
-from repro.models.layers import ConvLayerSpec
+from repro.models.layers import OpSpec
 from repro.models.zoo import ModelSpec, build_model
 from repro.quant.profile import PrecisionProfile, precision_profile
 from repro.quant.quantize import quantize_per_tensor
@@ -71,7 +71,7 @@ MODEL_SYNTHESIS: dict[str, WeightSynthesisSpec] = {
 
 
 def synthesize_layer_weights(
-    layer: ConvLayerSpec,
+    layer: OpSpec,
     spec: WeightSynthesisSpec,
     rng: np.random.Generator,
 ) -> np.ndarray:
@@ -92,9 +92,11 @@ def synthesize_layer_weights(
 
 @dataclass(frozen=True)
 class QuantizedLayer:
-    """One quantized conv layer: integer codes + metadata."""
+    """One quantized op: integer codes + metadata.  Weightless glue ops
+    carry an empty codes tensor (they exist so ``layers`` stays 1:1 with
+    the model's op graph for the lowering pass)."""
 
-    layer: ConvLayerSpec
+    layer: OpSpec
     codes: np.ndarray  # int16, shape = layer.weight_shape
     scale: float
     precision: IntSpec = INT8
@@ -156,7 +158,7 @@ class QuantizedModel:
 
 
 def quantize_layer(
-    layer: ConvLayerSpec,
+    layer: OpSpec,
     weights: np.ndarray,
     precision: IntSpec,
 ) -> QuantizedLayer:
@@ -197,14 +199,32 @@ def load_quantized_model(
     mixture = synthesis if synthesis is not None else MODEL_SYNTHESIS.get(
         name, WeightSynthesisSpec()
     )
-    count = len(model.layers)
+    # Precision-profile slots index *weighted* ops only, so a profile's
+    # first/last special cases land on real weight tensors regardless of
+    # how much weightless glue the op graph carries.  (For the CNN zoo
+    # every op is weighted, so the indexing is unchanged.)
+    count = sum(1 for op in model.layers if op.is_weighted)
     quantized = []
+    weighted_index = 0
     for index, layer in enumerate(model.layers):
+        if not layer.is_weighted:
+            quantized.append(
+                QuantizedLayer(
+                    layer=layer,
+                    codes=np.zeros((0,), dtype=np.int16),
+                    scale=1.0,
+                    precision=profile.widest,
+                )
+            )
+            continue
         rng = make_rng("weights", name, index)
         floats = synthesize_layer_weights(layer, mixture, rng)
         quantized.append(
-            quantize_layer(layer, floats, profile.spec_for(index, count))
+            quantize_layer(
+                layer, floats, profile.spec_for(weighted_index, count)
+            )
         )
+        weighted_index += 1
     return QuantizedModel(
         name=name,
         precision=profile.widest,

@@ -15,7 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import DataflowError
-from repro.models.layers import ConvLayerSpec
+from repro.models.layers import (
+    ConvLayerSpec,
+    LinearSpec,
+    NormSpec,
+    OpSpec,
+    RESIDUAL_INPUT,
+    ResidualAddSpec,
+)
 
 MODEL_NAMES = (
     "mobilenet_v2",
@@ -434,7 +441,55 @@ def _resnet(
     return net.layers
 
 
+# ----------------------------------------------------------------------
+# tiny_llm — one transformer block as an op graph (ROADMAP: LLM GEMM
+# streaming workload).  Attention QKV/out + MLP projections are
+# LinearSpec nodes (R=S=1 conv atoms, token axis = output pixels);
+# residual adds and layernorm-as-requant are weightless glue folded by
+# the lowering pass.  This runtime streams *weights* — the
+# activation-by-activation attention score matmul has no weight tensor
+# to stream, so the block models the seven projection GEMMs that
+# dominate decode cost (the Tempus Versal framing).
+# ----------------------------------------------------------------------
+
+#: Nominal decode length tiny_llm is lowered at; the executor accepts
+#: any actual token count (autoregressive decode grows it per step).
+TINY_LLM_TOKENS = 64
+
+
+def _tiny_llm() -> "list[OpSpec]":
+    from repro.gemm.llm import TINY_LLM  # lazy: avoid import cycles
+
+    d_model, d_ff, tokens = TINY_LLM.d_model, TINY_LLM.d_ff, TINY_LLM_TOKENS
+
+    def proj(tag: str, d_in: int, d_out: int) -> LinearSpec:
+        return LinearSpec(
+            name=f"tiny_llm.{tag}",
+            in_features=d_in,
+            out_features=d_out,
+            tokens=tokens,
+        )
+
+    return [
+        proj("attn.q", d_model, d_model),
+        proj("attn.k", d_model, d_model),
+        proj("attn.v", d_model, d_model),
+        proj("attn.o", d_model, d_model),
+        ResidualAddSpec("tiny_llm.attn.residual", source=RESIDUAL_INPUT),
+        NormSpec("tiny_llm.attn.norm"),
+        proj("mlp.up", d_model, d_ff),
+        proj("mlp.down", d_ff, d_model),
+        ResidualAddSpec("tiny_llm.mlp.residual", source="tiny_llm.attn.o"),
+        NormSpec("tiny_llm.mlp.norm"),
+    ]
+
+
+#: Non-Table-I workloads reachable through :func:`build_model` (and the
+#: serving/benchmark stack) without being part of the paper's CNN set.
+EXTENSION_MODELS = ("tiny_llm",)
+
 _BUILDERS = {
+    "tiny_llm": _tiny_llm,
     "mobilenet_v2": _mobilenet_v2,
     "mobilenet_v3": _mobilenet_v3,
     "googlenet": _googlenet,
@@ -450,15 +505,20 @@ _BUILDERS = {
 
 @dataclass(frozen=True)
 class ModelSpec:
-    """A CNN ready for weight synthesis.
+    """A model ready for weight synthesis.
 
     Attributes:
         name: canonical zoo name.
-        layers: ordered convolution layers.
+        layers: ordered op-graph nodes (all conv for the Table-I CNNs;
+            linear + elementwise glue for the transformer extensions).
     """
 
     name: str
-    layers: tuple[ConvLayerSpec, ...]
+    layers: tuple[OpSpec, ...]
+
+    @property
+    def weighted_layers(self) -> "tuple[OpSpec, ...]":
+        return tuple(op for op in self.layers if op.is_weighted)
 
     @property
     def total_weights(self) -> int:
@@ -480,12 +540,13 @@ def build_model(name: str, scale: float = 1.0) -> ModelSpec:
     """Construct a zoo model by name.
 
     Args:
-        name: one of :data:`MODEL_NAMES`.
+        name: one of :data:`MODEL_NAMES` or :data:`EXTENSION_MODELS`.
         scale: width multiplier in (0, 1] (1.0 = the published topology).
     """
     if name not in _BUILDERS:
+        available = ", ".join(MODEL_NAMES + EXTENSION_MODELS)
         raise DataflowError(
-            f"unknown model {name!r}; available: {', '.join(MODEL_NAMES)}"
+            f"unknown model {name!r}; available: {available}"
         )
     spec = ModelSpec(name=name, layers=tuple(_BUILDERS[name]()))
     if scale != 1.0:

@@ -97,14 +97,28 @@ class ComputeBackend(ABC):
                 substitute their own — see :meth:`cycle_code`).
         """
 
-    def layer_cycles(self, stage, weights: np.ndarray, code: UnaryCode) -> int:
+    def layer_cycles(
+        self,
+        stage,
+        weights: np.ndarray,
+        code: UnaryCode,
+        out_pixels: "int | None" = None,
+    ) -> int:
         """Per-image cycles of one group of a lowered
         :class:`~repro.runtime.lowering.StagePlan` — the entry point
-        :class:`~repro.runtime.executor.BatchExecutor` accounts with."""
+        :class:`~repro.runtime.executor.BatchExecutor` accounts with.
+
+        ``out_pixels`` overrides the layer's nominal output-pixel count
+        for dynamic-shape stages (autoregressive decode: the token axis
+        of a linear stage grows per step, and each token is one output
+        pixel); None keeps the compiled geometry.
+        """
         layer = stage.layer
+        if out_pixels is None:
+            out_pixels = layer.out_height * layer.out_width
         return self.conv_cycles(
             weights,
-            layer.out_height * layer.out_width,
+            out_pixels,
             stage.config,
             code,
         )

@@ -27,6 +27,11 @@ claim-specific logic:
 * :func:`run_backend_benchmark` — the compute-backend sweep
   (``results/BENCH_backends.json``) across every registered MAC-unit
   design.
+* :func:`run_llm_benchmark` — token-by-token autoregressive decode of
+  the extension transformer block (``results/BENCH_llm.json``):
+  growing-sequence GEMM shapes through the dynamic-token linear
+  stages, per-token latency percentiles, and batched/fused/per-image/
+  sharded bit-identity at every backend x precision point.
 
 Shared by ``python -m repro serve-bench [--workers N] [--precision P]``
 and the ``benchmarks/bench_network_inference.py`` /
@@ -1449,6 +1454,354 @@ def render_backend_benchmark(payload: dict) -> str:
             f"compute-backend sweep on {config['k']}x{config['n']} "
             f"(scale {payload['scale']}, input {payload['input_size']}, "
             f"batch {payload['batch']})"
+        ),
+    )
+
+
+#: LLM decode benchmark defaults: the extension transformer block
+#: served token-by-token on every registered backend at the paper's
+#: three uniform precisions, with sharded re-verification at these
+#: worker counts.
+DEFAULT_LLM_MODEL = "tiny_llm"
+DEFAULT_LLM_WORKERS = (1, 2)
+
+
+def _linear_stage_parity(net, stage_index: int, backend_name: str,
+                         tokens: int) -> bool:
+    """Cross-check the executor's value-aware accounting of one linear
+    stage against the standalone :class:`~repro.gemm.llm.TubMatVec`
+    GEMV engine (the Sec. VI future-work model the op-graph IR lowers).
+
+    A linear stage is a per-token GEMV, so the executor's cycles must
+    be the engine's per-token count scaled by the token axis plus the
+    backend's fixed pipeline terms:
+
+    * binary: ``binary_cycles * tokens + pipeline_latency``
+    * tempus: ``tempus_cycles * tokens + pipeline_latency + 1``
+    * gemm baselines: ``tempus_cycles * tokens`` (flat accounting,
+      with tuGEMM's replayed-unary cycle law substituted).
+    """
+    from repro.gemm.llm import project_linear_stage
+
+    stage = net.stages[stage_index]
+    backend = get_backend(backend_name)
+    got = sum(
+        backend.layer_cycles(
+            stage, weights, net.code, out_pixels=tokens
+        )
+        for weights in stage.weights
+    )
+    cycle_code = getattr(backend, "cycle_code", None)
+    engine = project_linear_stage(
+        stage,
+        code=cycle_code(stage.config) if cycle_code else net.code,
+    )
+    latency = stage.config.pipeline_latency
+    if backend_name == "binary":
+        expect = engine.binary_cycles * tokens + latency
+    elif backend_name == "tempus":
+        expect = engine.tempus_cycles * tokens + latency + 1
+    else:
+        expect = engine.tempus_cycles * tokens
+    return got == expect
+
+
+def run_llm_benchmark(
+    backends: "tuple[str, ...] | list[str]" = DEFAULT_BACKEND_SWEEP,
+    precisions: "tuple | list" = DEFAULT_BACKEND_PRECISIONS,
+    tokens: "int | None" = None,
+    quick: bool = False,
+    scheduling: bool = True,
+    config: CoreConfig | None = None,
+    sharded_workers: "tuple[int, ...] | list[int]" = DEFAULT_LLM_WORKERS,
+    out_dir: "str | Path | None" = "results",
+) -> dict:
+    """Token-by-token autoregressive decode of the extension
+    transformer block (``results/BENCH_llm.json``).
+
+    The ``tiny_llm`` zoo model lowers the op-graph IR end-to-end: six
+    linear projections (attention q/k/v/o and the MLP pair) plus the
+    folded residual adds and requant norms.  Linear stages compile
+    with ``dynamic_hw``, so one compiled network serves every prefix
+    length — decode step ``t`` runs the growing (d_out x d_in) x t
+    GEMM over the first ``t`` tokens of a fixed synthesized stream,
+    exactly the growing-sequence shape profile of KV-cache-less
+    autoregressive serving.
+
+    Per (backend, precision) point, every decode step is verified
+    bit-identical (outputs AND cycles) across the batched, fused and
+    per-image reference paths, sharded serving is re-verified at
+    several prefix checkpoints for every worker count, and the first
+    projection's cycle accounting is pinned to the standalone
+    :class:`~repro.gemm.llm.TubMatVec` GEMV engine.  Recorded per
+    point: the per-step cycle series, per-token latency percentiles
+    (p50/p90/p99 in cycles and microseconds at the serving clock) and
+    steady-state host decode throughput.
+
+    Args:
+        backends: registered backend names to sweep.
+        precisions: uniform precision profiles to sweep.
+        tokens: decode length (defaults to the preset input size — 64
+            full, 32 quick).
+        quick: smaller width/resolution preset for smoke runs.
+        scheduling: apply burst-aware tile scheduling when lowering.
+        config: array geometry (k/n).
+        sharded_workers: shard-pool sizes re-verified per point.
+        out_dir: where BENCH_llm.json is written (None = don't).
+
+    Returns:
+        the record written to the artifact.
+    """
+    from repro.models.layers import LinearSpec
+    from repro.runtime.executor import BatchExecutor
+    from repro.serve import ShardedRunner
+    from repro.utils.rng import make_rng
+
+    model = DEFAULT_LLM_MODEL
+    spec = SweepSpec(
+        name="llm",
+        nets=(model,),
+        backends=tuple(backends),
+        precisions=tuple(precisions),
+        workers=tuple(sharded_workers),
+        batch=1,
+        quick=quick,
+        scheduling=scheduling,
+    )
+    backend_names = tuple(
+        get_backend(name).name for name in spec.backends
+    )
+    harness = SweepHarness(spec, config)
+    config = harness.base_config
+    profiles = [precision_profile(entry) for entry in precisions]
+    tokens = harness.input_size if tokens is None else int(tokens)
+    if tokens < 1:
+        raise DataflowError("decode length must be >= 1 token")
+    # Sharded serving re-verification checkpoints: short, mid and full
+    # prefixes (deduplicated for tiny decode lengths).
+    checkpoints = sorted(
+        {1, max(1, tokens // 4), max(1, tokens // 2), tokens}
+    )
+    cache_before = burst_map_cache_stats()
+
+    records = []
+    block = None
+    for profile in profiles:
+        for name in backend_names:
+            runner = harness.runner(name, profile)
+            net = runner.compile(model)
+            if block is None:
+                block = [
+                    {
+                        "name": stage.name,
+                        "d_out": int(stage.layer.out_features),
+                        "d_in": int(stage.layer.in_features),
+                        "residual": stage.residual_from is not None,
+                    }
+                    for stage in net.stages
+                    if isinstance(stage.layer, LinearSpec)
+                ]
+            plain = runner.executor(model)
+            fused = BatchExecutor(net, None, fused=True)
+            # One fixed stream per decode length; every backend and
+            # precision decodes prefixes of the same token sequence
+            # (clipped per profile by the activation format itself).
+            rng = make_rng("llm-decode", model, int(tokens))
+            stream = np.asarray(
+                net.precision.random_array(
+                    rng, (1, net.input_shape[0], tokens, 1)
+                ),
+                dtype=np.int64,
+            )
+            per_token = []
+            reference_at: dict = {}
+            for step in range(1, tokens + 1):
+                prefix = stream[:, :, :step, :]
+                job = plain.run_job(prefix)
+                fused_job = fused.run_job(prefix)
+                reference = runner.run_per_image(model, prefix)
+                identical = bool(
+                    np.array_equal(job["output"], fused_job["output"])
+                    and job["conv_cycles"] == fused_job["conv_cycles"]
+                    and job["stage_cycles"]
+                    == fused_job["stage_cycles"]
+                    and np.array_equal(
+                        job["output"], reference.output
+                    )
+                    and job["conv_cycles"] == reference.conv_cycles
+                )
+                if not identical:
+                    raise DataflowError(
+                        f"{model} @ {name}/{profile.name}: decode "
+                        f"step {step} diverged across the batched/"
+                        "fused/per-image paths"
+                    )
+                per_token.append(
+                    {
+                        "token": step,
+                        "conv_cycles": int(job["conv_cycles"]),
+                    }
+                )
+                if step in checkpoints:
+                    reference_at[step] = job
+            sharded_ok = True
+            for workers in spec.workers:
+                with ShardedRunner(
+                    workers=workers,
+                    config=runner.config,
+                    engine=name,
+                    scheduling=scheduling,
+                    scale=harness.scale,
+                    input_size=harness.input_size,
+                    precision=profile,
+                ) as server:
+                    server.start(model)
+                    for step in checkpoints:
+                        sharded = server.run(
+                            model, stream[:, :, :step, :]
+                        )
+                        job = reference_at[step]
+                        if not (
+                            np.array_equal(
+                                sharded.output, job["output"]
+                            )
+                            and sharded.conv_cycles
+                            == job["conv_cycles"]
+                        ):
+                            raise DataflowError(
+                                f"{model} @ {name}/{profile.name}: "
+                                f"sharded decode ({workers} workers, "
+                                f"{step} tokens) diverged from the "
+                                "single-process reference"
+                            )
+            parity = _linear_stage_parity(net, 0, name, tokens)
+            if not parity:
+                raise DataflowError(
+                    f"{model} @ {name}/{profile.name}: linear-stage "
+                    "cycle accounting diverged from the TubMatVec "
+                    "GEMV engine"
+                )
+            # Steady state by construction: the decode loop above
+            # already compiled the net and warmed every burst map.
+            _, seconds = measure(
+                lambda: [
+                    plain.run_job(stream[:, :, :step, :])
+                    for step in range(1, tokens + 1)
+                ]
+            )
+            cycles = np.asarray(
+                [entry["conv_cycles"] for entry in per_token],
+                dtype=np.int64,
+            )
+            p50, p90, p99 = (
+                float(value)
+                for value in np.percentile(cycles, (50, 90, 99))
+            )
+            records.append(
+                {
+                    "net": model,
+                    "backend": name,
+                    "precision": profile.name,
+                    "layers": profile.describe(),
+                    "tokens": int(tokens),
+                    "conv_cycles": int(cycles[-1]),
+                    "per_token": per_token,
+                    "latency_cycles": {
+                        "p50": p50,
+                        "p90": p90,
+                        "p99": p99,
+                        "mean": float(cycles.mean()),
+                    },
+                    "latency_us": {
+                        "p50": p50 * 1e6 / SERVING_CLOCK_HZ,
+                        "p90": p90 * 1e6 / SERVING_CLOCK_HZ,
+                        "p99": p99 * 1e6 / SERVING_CLOCK_HZ,
+                    },
+                    "cycles_monotone_nondecreasing": bool(
+                        np.all(np.diff(cycles) >= 0)
+                    ),
+                    "bit_identical": True,
+                    "sharded_bit_identical": sharded_ok,
+                    "matvec_parity": parity,
+                    "wall_seconds": float(seconds),
+                    "host_tokens_per_second": float(
+                        tokens / max(seconds, 1e-12)
+                    ),
+                }
+            )
+
+    cache_after = burst_map_cache_stats()
+    payload = {
+        "benchmark": "llm_decode",
+        "model": model,
+        "config": {"k": config.k, "n": config.n},
+        **harness.common_head(),
+        "tokens": int(tokens),
+        "clock_hz": SERVING_CLOCK_HZ,
+        "backends": list(backend_names),
+        "precisions": [profile.name for profile in profiles],
+        "worker_counts": [int(count) for count in spec.workers],
+        "sharded_checkpoints": [int(step) for step in checkpoints],
+        "block": block,
+        "records": records,
+        # Growing-sequence shapes must not churn the burst-map cache:
+        # maps key on weight content, not output pixels, so the whole
+        # sweep adds one entry per (weight tensor, geometry) pair.
+        "burst_map_cache_totals": {
+            "entries": cache_after["entries"],
+            "entries_added": (
+                cache_after["entries"] - cache_before["entries"]
+            ),
+            "hits": cache_after["hits"] - cache_before["hits"],
+            "misses": cache_after["misses"] - cache_before["misses"],
+        },
+    }
+    return write_benchmark_artifact(payload, "BENCH_llm.json", out_dir)
+
+
+def render_llm_benchmark(payload: dict) -> str:
+    """Human-readable summary of an LLM decode payload."""
+    columns = [
+        Column("backend", "backend"),
+        Column("precision", "layers"),
+        Column("tokens", "tokens"),
+        Column("total cycles", "conv_cycles", format=","),
+        Column(
+            "p50 cyc/tok",
+            lambda row: row["latency_cycles"]["p50"],
+            format=",.0f",
+        ),
+        Column(
+            "p99 cyc/tok",
+            lambda row: row["latency_cycles"]["p99"],
+            format=",.0f",
+        ),
+        Column(
+            "host tok/s",
+            "host_tokens_per_second",
+            format=",.0f",
+        ),
+        Column(
+            "bit-identical",
+            lambda row: yes_no(
+                row["bit_identical"]
+                and row["sharded_bit_identical"]
+            ),
+        ),
+    ]
+    config = payload["config"]
+    dims = " + ".join(
+        f"{stage['d_in']}x{stage['d_out']}"
+        for stage in payload.get("block", [])
+    )
+    return render_columns(
+        payload["records"],
+        columns,
+        title=(
+            f"autoregressive decode ({payload['model']}: {dims}) on "
+            f"{config['k']}x{config['n']} "
+            f"(scale {payload['scale']}, {payload['tokens']} tokens, "
+            f"workers {payload['worker_counts']})"
         ),
     )
 

@@ -20,9 +20,12 @@ free — see the cache notes in :mod:`repro.core.latency`).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.core.latency import burst_map_cache_stats
+from repro.errors import DataflowError
 from repro.nvdla.dataflow import golden_conv2d_batched
 from repro.nvdla.pdp import Pdp
 from repro.nvdla.pipeline import StageResult
@@ -30,6 +33,13 @@ from repro.nvdla.sdp import Sdp, _rounded_shift
 from repro.runtime.backends import DEFAULT_BACKEND, ComputeBackend, \
     backend_profile, get_backend, resolve_stage_backends
 from repro.runtime.lowering import CompiledNetwork, StagePlan
+
+#: Bound on the fused-path cycle memo (entries are (stage index,
+#: output-pixel count) pairs).  Large enough that a whole CNN program
+#: plus a long decode's worth of distinct sequence lengths stay warm;
+#: small enough that token-by-token serving can never grow executor
+#: state linearly with stream length.
+FUSED_CYCLE_MEMO_SIZE = 256
 
 
 class _FusedStage:
@@ -39,15 +49,18 @@ class _FusedStage:
     are stacked into one (G, Kg, Cg, R, S) block so a single grouped
     einsum per kernel-window position covers every group at once
     (depthwise layers collapse from C python-loop iterations to R*S),
-    the per-group schedule permutations are flattened into one gather
-    index over the full channel/kernel axes, and the stage's analytic
-    per-image cycles are memoized (they depend only on the weights and
-    the backend, both fixed for the executor's lifetime).
+    and the per-group schedule permutations are flattened into one
+    gather index over the full channel/kernel axes.  Cycle accounting
+    lives in a separate shape-aware memo on the executor
+    (:meth:`BatchExecutor._stage_cycles`): per-image cycles depend on
+    the *actual* output-pixel count, which grows per step under
+    autoregressive decode, so baking one number per stage here would
+    serve stale totals for dynamic shapes.
     """
 
-    __slots__ = ("weights", "channel_gather", "kernel_restore", "cycles")
+    __slots__ = ("weights", "channel_gather", "kernel_restore")
 
-    def __init__(self, stage: StagePlan, cycles: int) -> None:
+    def __init__(self, stage: StagePlan) -> None:
         self.weights = np.stack(
             [np.asarray(tensor) for tensor in stage.weights]
         )
@@ -64,7 +77,6 @@ class _FusedStage:
         self.kernel_restore = _flat_permutation(
             stage.kernel_restores, groups, kernels_per_group
         )
-        self.cycles = cycles
 
 
 def _flat_permutation(per_group, groups: int, width: int):
@@ -157,9 +169,16 @@ class BatchExecutor:
         else:
             self.engine = backend_profile(engine).describe()
         # Fused-path state: per-stage plans (stacked weights, fused
-        # permutations, memoized cycles) and reusable scratch buffers,
-        # keyed by stage index + role; both built lazily on first use.
+        # permutations) and reusable scratch buffers, keyed by stage
+        # index + role; both built lazily on first use.  Cycle totals
+        # live in their own bounded LRU keyed (stage index, actual
+        # output pixels): autoregressive decode presents a different
+        # token count — hence a different output-pixel count — every
+        # step, and an unbounded per-shape memo would grow linearly
+        # with decoded tokens (the fixed-shape CNN assumption baked
+        # into the old per-stage memo).
         self._fused_stages: "dict[int, _FusedStage]" = {}
+        self._fused_cycles: "OrderedDict[tuple, int]" = OrderedDict()
         self._scratch: "dict[tuple, np.ndarray]" = {}
 
     # ------------------------------------------------------------------
@@ -179,18 +198,34 @@ class BatchExecutor:
         records: list[StageResult] = []
         current = images
         total_cycles = 0
+        # Folded-residual state: stage outputs a later stage adds to
+        # its own requantized output (key -1 = the model input after
+        # the first stage's seam adapters).  Outputs are fresh arrays
+        # on both paths, so keeping references is safe across scratch
+        # reuse.
+        saved: dict[int, np.ndarray] = {}
+        save_input = self.net.needs_input_saved
         for index, (stage, backend) in enumerate(
             zip(self.net.stages, self.stage_backends)
         ):
             current = self._fit_batch(stage, current, records)
+            if index == 0 and save_input:
+                saved[-1] = np.asarray(current, dtype=np.int64)
+            residual = (
+                saved[stage.residual_from]
+                if stage.residual_from is not None
+                else None
+            )
             if self.fused:
                 current, cycles = self._conv_fused(
-                    index, stage, current, backend
+                    index, stage, current, backend, residual
                 )
             else:
                 current, cycles = self._conv_batched(
-                    stage, current, backend
+                    stage, current, backend, residual
                 )
+            if stage.save_output:
+                saved[index] = current
             cycles *= images.shape[0]
             total_cycles += cycles
             records.append(
@@ -252,14 +287,25 @@ class BatchExecutor:
                     output_shape=tuple(batch.shape),
                 )
             )
+        if stage.dynamic_hw:
+            # Dynamic stages (linear ops) accept whatever token count
+            # the stream presents; pinning to the nominal compile-time
+            # length would truncate or zero-pad the sequence.
+            return batch
         return fit_spatial(batch, stage.fit_hw, first_axis=2)
 
     # --- conv execution -----------------------------------------------
     def _conv_batched(
-        self, stage: StagePlan, batch: np.ndarray, backend: ComputeBackend
+        self,
+        stage: StagePlan,
+        batch: np.ndarray,
+        backend: ComputeBackend,
+        residual: "np.ndarray | None" = None,
     ) -> tuple[np.ndarray, int]:
         """One conv stage over the whole batch; returns per-image
-        cycles (the caller scales by batch size)."""
+        cycles (the caller scales by batch size).  A folded residual is
+        added to the requantized output after the SDP (see
+        :meth:`_add_residual`)."""
         layer = stage.layer
         channels_per_group = layer.channels_per_group
         pad_h, pad_w = layer.padding_h, layer.padding_w
@@ -270,6 +316,7 @@ class BatchExecutor:
         )
         outputs = []
         cycles = 0
+        out_pixels: "int | None" = None
         for group, weights in enumerate(stage.weights):
             group_input = padded[
                 :,
@@ -285,13 +332,18 @@ class BatchExecutor:
             if schedule is not None:
                 group_out = group_out[:, stage.kernel_restores[group]]
             outputs.append(group_out)
-            cycles += self.group_cycles(stage, weights, backend)
+            if stage.dynamic_hw and out_pixels is None:
+                out_pixels = group_out.shape[-2] * group_out.shape[-1]
+            cycles += self.group_cycles(
+                stage, weights, backend, out_pixels=out_pixels
+            )
         psums = (
             np.concatenate(outputs, axis=1)
             if len(outputs) > 1
             else outputs[0]
         )
-        return Sdp(stage.sdp).apply_many(psums), cycles
+        out = Sdp(stage.sdp).apply_many(psums)
+        return self._add_residual(stage, out, residual), cycles
 
     # --- fused hot path -----------------------------------------------
     def _scratch_buf(self, key: tuple, shape: tuple) -> np.ndarray:
@@ -305,18 +357,66 @@ class BatchExecutor:
             self._scratch[key] = buffer
         return buffer
 
-    def _fused_stage(
-        self, index: int, stage: StagePlan, backend: ComputeBackend
-    ) -> _FusedStage:
+    def _fused_stage(self, index: int, stage: StagePlan) -> _FusedStage:
         plan = self._fused_stages.get(index)
         if plan is None:
-            cycles = sum(
-                self.group_cycles(stage, weights, backend)
-                for weights in stage.weights
-            )
-            plan = _FusedStage(stage, cycles)
+            plan = _FusedStage(stage)
             self._fused_stages[index] = plan
         return plan
+
+    def _stage_cycles(
+        self,
+        index: int,
+        stage: StagePlan,
+        backend: ComputeBackend,
+        out_pixels: "int | None",
+    ) -> int:
+        """Memoized per-image cycles of one whole stage at one actual
+        output-pixel count.  Bounded LRU (see
+        :data:`FUSED_CYCLE_MEMO_SIZE`): growing-sequence decode streams
+        present a new shape every token, and the memo must not grow
+        with stream length."""
+        key = (index, out_pixels)
+        cached = self._fused_cycles.get(key)
+        if cached is not None:
+            self._fused_cycles.move_to_end(key)
+            return cached
+        cycles = sum(
+            self.group_cycles(
+                stage, weights, backend, out_pixels=out_pixels
+            )
+            for weights in stage.weights
+        )
+        self._fused_cycles[key] = cycles
+        while len(self._fused_cycles) > FUSED_CYCLE_MEMO_SIZE:
+            self._fused_cycles.popitem(last=False)
+        return cycles
+
+    def _add_residual(
+        self,
+        stage: StagePlan,
+        outputs: np.ndarray,
+        residual: "np.ndarray | None",
+    ) -> np.ndarray:
+        """Folded residual applied on the stage's requantized output —
+        the SDP's elementwise-add unit, downstream of the scaling core.
+        Both operands live in the activation format (a residual added
+        to raw psums would be crushed by the requant scale), and the
+        sum saturates back into the stage's output precision.  Exact
+        integer arithmetic, so every execution path agrees bit-for-bit,
+        and zero cycles — it rides the SDP pass like the bias add."""
+        if residual is None:
+            return outputs
+        if residual.shape != outputs.shape:
+            raise DataflowError(
+                f"{stage.name}: folded residual shape "
+                f"{residual.shape} does not match stage output "
+                f"{outputs.shape}"
+            )
+        spec = stage.sdp.out_precision
+        return np.clip(
+            outputs + residual, spec.min_value, spec.max_value
+        )
 
     def _conv_fused(
         self,
@@ -324,6 +424,7 @@ class BatchExecutor:
         stage: StagePlan,
         batch: np.ndarray,
         backend: ComputeBackend,
+        residual: "np.ndarray | None" = None,
     ) -> tuple[np.ndarray, int]:
         """Fused equivalent of :meth:`_conv_batched` + SDP: one grouped
         einsum per kernel-window position over *all* groups at once,
@@ -333,7 +434,7 @@ class BatchExecutor:
         path (integer addition is order-independent), so outputs and
         cycles are bit-identical — only the loop structure and
         allocation behavior differ."""
-        plan = self._fused_stage(index, stage, backend)
+        plan = self._fused_stage(index, stage)
         layer = stage.layer
         stride = layer.stride
         pad_h, pad_w = layer.padding_h, layer.padding_w
@@ -396,7 +497,14 @@ class BatchExecutor:
         )
         if plan.kernel_restore is not None:
             values = np.take(values, plan.kernel_restore, axis=1)
-        return self._sdp_fused(stage, values), plan.cycles
+        cycles = self._stage_cycles(
+            index,
+            stage,
+            backend,
+            out_height * out_width if stage.dynamic_hw else None,
+        )
+        out = self._sdp_fused(stage, values)
+        return self._add_residual(stage, out, residual), cycles
 
     def _sdp_fused(
         self, stage: StagePlan, values: np.ndarray
@@ -436,6 +544,7 @@ class BatchExecutor:
         stage: StagePlan,
         weights: np.ndarray,
         backend: "ComputeBackend | None" = None,
+        out_pixels: "int | None" = None,
     ) -> int:
         """Analytic per-image cycles of one layer group on the stage's
         backend — identical to the formula the backend's reference core
@@ -463,4 +572,6 @@ class BatchExecutor:
             )
             if backend is None:
                 backend = get_backend(stage.backend or DEFAULT_BACKEND)
-        return backend.layer_cycles(stage, weights, self.net.code)
+        return backend.layer_cycles(
+            stage, weights, self.net.code, out_pixels=out_pixels
+        )

@@ -55,7 +55,14 @@ import numpy as np
 from repro.core.scheduling import TileSchedule, apply_schedule, \
     optimize_tile_schedule
 from repro.errors import DataflowError
-from repro.models.layers import ConvLayerSpec
+from repro.models.layers import (
+    ConvLayerSpec,
+    LinearSpec,
+    NormSpec,
+    OpSpec,
+    RESIDUAL_INPUT,
+    ResidualAddSpec,
+)
 from repro.models.weights import QuantizedModel
 from repro.nvdla.config import CoreConfig
 from repro.nvdla.dataflow import conv_atoms
@@ -98,10 +105,19 @@ class StagePlan:
         backend: registered compute-backend name the stage is
             accounted on (:mod:`repro.runtime.backends`); None falls
             back to the executor's default.
+        dynamic_hw: the stage accepts any runtime spatial size (linear
+            stages: the token axis grows during autoregressive decode).
+            The spatial seam adapter is skipped and cycle accounting
+            uses the *actual* output-pixel count, not the nominal one.
+        residual_from: folded residual add — the stage index whose
+            saved output is added to this stage's psums before the SDP
+            (``-1`` = the model input itself); None = no residual.
+        save_output: a later stage's ``residual_from`` references this
+            stage, so the executor keeps its output for the run.
     """
 
     name: str
-    layer: ConvLayerSpec
+    layer: OpSpec
     weights: tuple
     schedules: tuple
     kernel_restores: tuple
@@ -112,6 +128,9 @@ class StagePlan:
     precision: IntSpec
     config: CoreConfig
     backend: "str | None" = None
+    dynamic_hw: bool = False
+    residual_from: "int | None" = None
+    save_output: bool = False
 
     @property
     def groups(self) -> int:
@@ -160,11 +179,30 @@ class CompiledNetwork:
     def macs_per_image(self) -> int:
         return sum(stage.layer.macs for stage in self.stages)
 
+    @property
+    def dynamic_tokens(self) -> bool:
+        """True when any stage accepts runtime-sized inputs (transformer
+        decode: the token axis grows per step)."""
+        return any(stage.dynamic_hw for stage in self.stages)
 
-def _rescale_layer(layer: ConvLayerSpec, factor: float) -> ConvLayerSpec:
-    """Scale a layer's declared spatial size, keeping the kernel legal."""
+    @property
+    def needs_input_saved(self) -> bool:
+        """True when some stage's folded residual references the model
+        input itself."""
+        return any(
+            stage.residual_from == -1 for stage in self.stages
+        )
+
+
+def _rescale_layer(layer: OpSpec, factor: float) -> OpSpec:
+    """Scale a layer's declared spatial size, keeping the kernel legal.
+    For linear ops the "spatial size" is the nominal token count."""
     if factor == 1.0:
         return layer
+    if isinstance(layer, LinearSpec):
+        return layer.with_tokens(
+            max(1, int(round(layer.tokens * factor)))
+        )
 
     def scaled(value: int, kernel: int, pad: int) -> int:
         floor = max(1, kernel - 2 * pad)
@@ -178,7 +216,7 @@ def _rescale_layer(layer: ConvLayerSpec, factor: float) -> ConvLayerSpec:
 
 
 def _layer_sdp(
-    layer: ConvLayerSpec,
+    layer: "ConvLayerSpec | LinearSpec",
     codes: np.ndarray,
     precision: IntSpec,
     next_precision: IntSpec | None,
@@ -188,22 +226,40 @@ def _layer_sdp(
     """Deterministic requantization for one layer.
 
     The rescale maps typical partial sums back into the activation
-    format: with post-ReLU activations averaging about half the code
-    range, a kernel's partial sum scales with its L1 weight mass, so
-    ``2 / mean(sum |w|)`` recentres the output distribution on the
-    format's range.  Hidden stages requantize into the *next* stage's
-    activation format (``next_precision``); the final stage
-    (``next_precision=None``) keeps full psum resolution in the wide
-    format its own precision implies (standard practice for logits).
-    The bias range is likewise derived from the format the stage
-    produces into, not assumed INT8.
+    format.  Conv stages: with post-ReLU activations averaging about
+    half the code range, a kernel's partial sum scales with its L1
+    weight mass, so ``2 / mean(sum |w|)`` recentres the output
+    distribution on the format's range.  Linear stages get a
+    *unit-gain* calibration instead: a transformer block chains six
+    projections with no pooling between them to recentre ranges, and
+    a dense dot product of centred activations grows like
+    ``sqrt(fan_in) * rms(w)`` (not the L1 mass, which assumes the
+    sparse one-sided feature maps of a CNN and collapses a linear
+    chain to all-zero within a few stages), so dividing by that keeps
+    activation energy constant layer to layer.  Hidden stages
+    requantize into the *next* stage's activation format
+    (``next_precision``); the final stage (``next_precision=None``)
+    keeps full psum resolution in the wide format its own precision
+    implies (standard practice for logits).  The bias range is
+    likewise derived from the format the stage produces into, not
+    assumed INT8.
     """
     magnitudes = np.abs(codes.astype(np.int64))
-    kernel_l1 = magnitudes.sum(axis=(1, 2, 3)).astype(np.float64)
-    mean_l1 = float(kernel_l1.mean()) if kernel_l1.size else 1.0
-    multiplier, shift = requant_params_from_scale(
-        2.0 / max(2.0, mean_l1)
-    )
+    if isinstance(layer, LinearSpec):
+        rms = (
+            float(np.sqrt(np.mean(np.square(magnitudes, dtype=np.float64))))
+            if magnitudes.size
+            else 1.0
+        )
+        multiplier, shift = requant_params_from_scale(
+            1.0 / max(1.0, float(np.sqrt(layer.fan_in)) * rms)
+        )
+    else:
+        kernel_l1 = magnitudes.sum(axis=(1, 2, 3)).astype(np.float64)
+        mean_l1 = float(kernel_l1.mean()) if kernel_l1.size else 1.0
+        multiplier, shift = requant_params_from_scale(
+            2.0 / max(2.0, mean_l1)
+        )
     bias_rng = make_rng("runtime", model_name, "bias", index)
     bias_spec = precision if next_precision is None else next_precision
     half = max(1, bias_spec.max_magnitude // 2)
@@ -224,6 +280,83 @@ def _layer_sdp(
         shift=shift,
         activation="relu",
     )
+
+
+def _fold_residual(
+    op: ResidualAddSpec,
+    plans: list,
+    stage_by_name: dict,
+    input_shape: tuple,
+) -> None:
+    """Fold a residual add into the preceding weighted stage: the add
+    happens on that stage's requantized output (the SDP elementwise-add
+    unit), saturating in the stage's output format."""
+    if not plans:
+        raise DataflowError(
+            f"{op.name}: residual add needs a preceding weighted stage"
+        )
+    target = plans[-1]
+    if target["residual_from"] is not None:
+        raise DataflowError(
+            f"{op.name}: stage {target['name']} already carries a "
+            "folded residual"
+        )
+    consumer = target["layer"]
+    out_shape = (
+        consumer.out_channels,
+        consumer.out_height,
+        consumer.out_width,
+    )
+    if op.source == RESIDUAL_INPUT:
+        if input_shape != out_shape:
+            raise DataflowError(
+                f"{op.name}: input residual shape {input_shape} does "
+                f"not match {consumer.name} output {out_shape}"
+            )
+        target["residual_from"] = -1
+        return
+    source_index = stage_by_name.get(op.source)
+    if source_index is None:
+        raise DataflowError(
+            f"{op.name}: unknown residual source {op.source!r} "
+            "(must name an earlier weighted op, or "
+            f"{RESIDUAL_INPUT!r} for the model input)"
+        )
+    if source_index == len(plans) - 1:
+        raise DataflowError(
+            f"{op.name}: residual source {op.source!r} is the "
+            "consuming stage itself"
+        )
+    source = plans[source_index]["layer"]
+    source_shape = (
+        source.out_channels,
+        source.out_height,
+        source.out_width,
+    )
+    if source_shape != out_shape:
+        raise DataflowError(
+            f"{op.name}: residual source {op.source!r} output "
+            f"{source_shape} does not match {consumer.name} output "
+            f"{out_shape}"
+        )
+    target["residual_from"] = source_index
+    plans[source_index]["save_output"] = True
+
+
+def _fold_norm(op: NormSpec, plans: list) -> None:
+    """Fold a layernorm-as-requant approximation into the preceding
+    weighted stage's SDP shift (exact integer op — see
+    :class:`repro.models.layers.NormSpec`)."""
+    if not plans:
+        raise DataflowError(
+            f"{op.name}: norm needs a preceding weighted stage"
+        )
+    target = plans[-1]
+    extra = op.requant_shift(target["layer"].fan_in)
+    if extra:
+        target["sdp"] = dataclasses.replace(
+            target["sdp"], shift=target["sdp"].shift + extra
+        )
 
 
 def _group_plans(
@@ -300,7 +433,12 @@ def lower_model(
     from repro.runtime.backends import DEFAULT_BACKEND, backend_profile
 
     if not model.layers:
-        raise DataflowError(f"model {model.name!r} has no conv layers")
+        raise DataflowError(f"model {model.name!r} has no layers")
+    weighted = [q for q in model.layers if q.layer.is_weighted]
+    if not weighted:
+        raise DataflowError(
+            f"model {model.name!r} has no weighted ops"
+        )
     backends = backend_profile(
         backend if backend is not None else DEFAULT_BACKEND
     )
@@ -317,7 +455,7 @@ def lower_model(
             f"(profile {model.profile.describe()})"
         )
 
-    native = model.layers[0].layer.in_height
+    native = weighted[0].layer.in_height
     factor = 1.0 if input_size is None else input_size / native
     if factor <= 0 or factor > 1:
         raise DataflowError(
@@ -325,11 +463,36 @@ def lower_model(
             "resolution"
         )
 
-    stages = []
+    first_layer = _rescale_layer(weighted[0].layer, factor)
+    input_shape = (
+        first_layer.in_channels,
+        first_layer.in_height,
+        first_layer.in_width,
+    )
+
+    # One kwargs dict per weighted op; weightless glue folds into the
+    # most recent entry (residual/norm cost zero extra cycles, like the
+    # SDP bias/ReLU they ride next to), and the dicts freeze into
+    # StagePlans once the whole graph is walked.
+    plans: list[dict] = []
+    stage_by_name: dict[str, int] = {}
     previous: tuple | None = None  # (C, H, W) of the previous output
-    last_index = len(model.layers) - 1
+    weighted_count = len(weighted)
+    position = 0  # index among weighted ops
     for index, quantized in enumerate(model.layers):
-        layer = _rescale_layer(quantized.layer, factor)
+        op = quantized.layer
+        if isinstance(op, ResidualAddSpec):
+            _fold_residual(op, plans, stage_by_name, input_shape)
+            continue
+        if isinstance(op, NormSpec):
+            _fold_norm(op, plans)
+            continue
+        if not op.is_weighted:
+            raise DataflowError(
+                f"{op.name}: cannot lower op type "
+                f"{type(op).__name__}"
+            )
+        layer = _rescale_layer(op, factor)
         stage_precision = quantized.precision
         stage_config = (
             config
@@ -344,21 +507,21 @@ def lower_model(
             quantized.codes,
             stage_precision,
             None
-            if index == last_index
-            else model.layers[index + 1].precision,
+            if position == weighted_count - 1
+            else weighted[position + 1].precision,
             model.name,
             index,
         )
 
         pool: PdpConfig | None = None
-        if previous is not None:
+        if previous is not None and isinstance(layer, ConvLayerSpec):
             _, prev_h, prev_w = previous
             target_h, target_w = layer.in_height, layer.in_width
             if prev_h >= 2 * target_h and prev_w >= 2 * target_w:
                 ratio = min(prev_h // target_h, prev_w // target_w)
                 pool = PdpConfig("max", kernel=ratio)
-        stages.append(
-            StagePlan(
+        plans.append(
+            dict(
                 name=layer.name,
                 layer=layer,
                 weights=weights,
@@ -370,23 +533,28 @@ def lower_model(
                 fit_hw=(layer.in_height, layer.in_width),
                 precision=stage_precision,
                 config=stage_config,
-                backend=backends.spec_for(index, len(model.layers)),
+                backend=backends.spec_for(position, weighted_count),
+                dynamic_hw=isinstance(layer, LinearSpec),
+                residual_from=None,
+                save_output=False,
             )
         )
+        stage_by_name[layer.name] = len(plans) - 1
         previous = (
             layer.out_channels,
             layer.out_height,
             layer.out_width,
         )
+        position += 1
 
-    first = stages[0].layer
+    stages = tuple(StagePlan(**kwargs) for kwargs in plans)
     return CompiledNetwork(
         name=model.name,
         config=config,
         precision=stages[0].precision,
         code=code,
-        stages=tuple(stages),
-        input_shape=(first.in_channels, first.in_height, first.in_width),
+        stages=stages,
+        input_shape=input_shape,
         scheduling=scheduling,
         profile=model.profile,
         backends=backends,

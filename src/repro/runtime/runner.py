@@ -252,15 +252,28 @@ class NetworkRunner:
         for index in range(images.shape[0]):
             current = images[index]
             image_records: list[StageResult] = []
-            for stage in net.stages:
+            # Folded-residual state, mirroring BatchExecutor.run_batch
+            # (key -1 = the model input after the first stage's seam
+            # adapters).
+            saved: dict[int, np.ndarray] = {}
+            for stage_index, stage in enumerate(net.stages):
                 current = self._fit_single(stage, current, image_records)
+                if stage_index == 0 and net.needs_input_saved:
+                    saved[-1] = np.asarray(current, dtype=np.int64)
+                residual = (
+                    saved[stage.residual_from]
+                    if stage.residual_from is not None
+                    else None
+                )
                 key = (
                     stage.backend or DEFAULT_BACKEND,
                     stage.precision.width,
                 )
                 current, cycles = self._conv_single(
-                    stage, current, cores[key]
+                    stage, current, cores[key], residual
                 )
+                if stage.save_output:
+                    saved[stage_index] = current
                 total_cycles += cycles
                 image_records.append(
                     StageResult(
@@ -331,12 +344,24 @@ class NetworkRunner:
         images = np.asarray(batch)
         if images.ndim == 3:
             images = images[None]
-        if images.ndim != 4 or tuple(images.shape[1:]) != tuple(
-            net.input_shape
-        ):
+        expected = tuple(net.input_shape)
+        matches = (
+            images.ndim == 4 and tuple(images.shape[1:]) == expected
+        )
+        if not matches and images.ndim == 4 and net.dynamic_tokens:
+            # Dynamic-token programs accept any sequence length on the
+            # token (height) axis — autoregressive decode grows it per
+            # step; channels and width stay structural.
+            channels, _, width = expected
+            matches = (
+                images.shape[1] == channels
+                and images.shape[2] >= 1
+                and images.shape[3] == width
+            )
+        if not matches:
             raise DataflowError(
                 f"batch shape {images.shape} does not match "
-                f"(B,) + {tuple(net.input_shape)}"
+                f"(B,) + {expected}"
             )
         return net.precision.check_array(images)
 
@@ -375,11 +400,17 @@ class NetworkRunner:
                     output_shape=tuple(image.shape),
                 )
             )
+        if stage.dynamic_hw:
+            return image
         return fit_spatial(image, stage.fit_hw, first_axis=1)
 
     # --- conv execution (per-image reference) -------------------------
     def _conv_single(
-        self, stage: StagePlan, image: np.ndarray, core
+        self,
+        stage: StagePlan,
+        image: np.ndarray,
+        core,
+        residual: "np.ndarray | None" = None,
     ) -> tuple[np.ndarray, int]:
         """One conv stage for one image through a real conv core."""
         layer = stage.layer
@@ -413,4 +444,19 @@ class NetworkRunner:
             if len(outputs) > 1
             else outputs[0]
         )
-        return Sdp(stage.sdp).apply(psums), cycles
+        out = Sdp(stage.sdp).apply(psums)
+        if residual is not None:
+            # SDP elementwise-add unit: the residual joins the stage's
+            # requantized output and saturates in the output format —
+            # mirroring BatchExecutor._add_residual bit-for-bit.
+            if residual.shape != out.shape:
+                raise DataflowError(
+                    f"{stage.name}: folded residual shape "
+                    f"{residual.shape} does not match stage output "
+                    f"{out.shape}"
+                )
+            spec = stage.sdp.out_precision
+            out = np.clip(
+                out + residual, spec.min_value, spec.max_value
+            )
+        return out, cycles

@@ -20,7 +20,7 @@ import itertools
 from dataclasses import dataclass, replace
 
 from repro.errors import DataflowError
-from repro.models.zoo import MODEL_NAMES
+from repro.models.zoo import EXTENSION_MODELS, MODEL_NAMES
 from repro.nvdla.config import CoreConfig
 from repro.quant.profile import precision_profile
 from repro.runtime.backends import backend_profile
@@ -62,12 +62,14 @@ DEFAULT_TUNE_GEOMETRIES = ("8x8", "16x4", "16x16", "32x32")
 
 
 def check_models(models) -> None:
-    """Reject model names the zoo doesn't know."""
-    unknown = [name for name in models if name not in MODEL_NAMES]
+    """Reject model names the zoo doesn't know (Table-I CNNs and the
+    extension models alike)."""
+    known = MODEL_NAMES + EXTENSION_MODELS
+    unknown = [name for name in models if name not in known]
     if unknown:
         raise DataflowError(
             f"unknown model(s) {', '.join(unknown)}; available: "
-            f"{', '.join(MODEL_NAMES)}"
+            f"{', '.join(known)}"
         )
 
 
@@ -336,6 +338,20 @@ BACKENDS_SWEEP = register_sweep(
         precisions=DEFAULT_BACKEND_PRECISIONS,
         batch=4,
         description="compute-backend sweep (BENCH_backends.json)",
+    )
+)
+
+LLM_SWEEP = register_sweep(
+    SweepSpec(
+        name="llm",
+        nets=("tiny_llm",),
+        backends=DEFAULT_BACKEND_SWEEP,
+        precisions=DEFAULT_BACKEND_PRECISIONS,
+        batch=1,
+        description=(
+            "autoregressive transformer-block decode: per-token "
+            "latency on all backends (BENCH_llm.json)"
+        ),
     )
 )
 
