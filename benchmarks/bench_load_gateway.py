@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Serving-gateway load benchmark (BENCH_load.json).
+
+Binary-searches the highest sustained requests/sec meeting a p99
+latency SLO through the pipelined :class:`repro.serve.ServingGateway`,
+per (net x backend x workers) point.  Every point is verified
+bit-identical (outputs *and* cycle counts) to the single-process
+``NetworkRunner`` reference under Poisson and burst arrivals — and
+again through a chaos pool injecting 25% faults — before its rate is
+recorded.  Each record carries the winning run's latency
+decomposition (queue wait / dispatch / compute / reassembly) and the
+before/after requests/sec of the synchronous one-batch-at-a-time
+driver vs the pipelined gateway.
+
+Run directly::
+
+    python benchmarks/bench_load_gateway.py          # full preset
+    python benchmarks/bench_load_gateway.py --quick  # CI-sized
+    python benchmarks/bench_load_gateway.py --workers 1 2 --slo-ms 25
+
+or through pytest (quick preset)::
+
+    pytest benchmarks/bench_load_gateway.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.runtime.bench import (
+    DEFAULT_LOAD_BACKENDS,
+    DEFAULT_LOAD_WORKERS,
+    DEFAULT_SERVING_MODELS,
+    render_load_benchmark,
+    run_load_benchmark,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run(
+    models=DEFAULT_SERVING_MODELS,
+    backends=DEFAULT_LOAD_BACKENDS,
+    worker_counts=DEFAULT_LOAD_WORKERS,
+    requests: int = 48,
+    quick: bool = False,
+    slo_ms=None,
+    fault_rate: float = 0.25,
+    profile: bool = False,
+    write: bool = True,
+) -> dict:
+    payload = run_load_benchmark(
+        models=models,
+        backends=backends,
+        worker_counts=worker_counts,
+        requests=requests,
+        quick=quick,
+        slo_ms=slo_ms,
+        fault_rate=fault_rate,
+        profile=profile,
+        out_dir=RESULTS_DIR if write else None,
+    )
+    # Contract checks: every point was verified bit-identical on every
+    # arrival leg before its rate was recorded, the SLO search found a
+    # positive sustained rate, and the decomposition never sums past
+    # the mean total.
+    for record in payload["records"]:
+        assert all(record["bit_identical"].values())
+        assert record["sustained_rps"] > 0
+        assert (
+            record["latency_ms"]["p50"]
+            <= record["latency_ms"]["p90"]
+            <= record["latency_ms"]["p99"]
+            <= record["slo_p99_ms"]
+        )
+        decomposition = sum(
+            phase["mean"] for phase in record["phases_ms"].values()
+        )
+        assert decomposition <= record["latency_ms"]["mean"] + 1e-9
+    return payload
+
+
+def test_load_quick():
+    """Tracked invariant: the gateway is bit-exact under Poisson,
+    burst and 25%-chaos arrivals at every pool size, and the SLO
+    search converges on a positive sustained rate."""
+    payload = run(
+        models=("mobilenet_v2",),
+        backends=("tempus",),
+        worker_counts=(1, 2),
+        requests=16,
+        quick=True,
+        write=False,
+    )
+    assert len(payload["records"]) == 2
+    assert payload["pipelining"]["speedup"] > 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=list(DEFAULT_SERVING_MODELS),
+        help=f"zoo models (default: {' '.join(DEFAULT_SERVING_MODELS)})",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=list(DEFAULT_LOAD_BACKENDS),
+        help=(
+            "compute backends to sweep "
+            f"(default: {' '.join(DEFAULT_LOAD_BACKENDS)})"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        nargs="+",
+        type=int,
+        default=list(DEFAULT_LOAD_WORKERS),
+        help="worker counts to sweep (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=48,
+        help=(
+            "request-stream length for the identity legs and the "
+            "pipelining comparison (default 48)"
+        ),
+    )
+    parser.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help=(
+            "fixed p99 target in ms (default: adaptive, 3x the "
+            "unloaded p99 per point)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.25,
+        help="chaos-leg injection rate (default 0.25; 0 disables)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the per-batch phase breakdown per point",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized preset"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip the JSON artifact"
+    )
+    args = parser.parse_args()
+    payload = run(
+        models=tuple(args.models),
+        backends=tuple(args.backends),
+        worker_counts=tuple(args.workers),
+        requests=args.requests,
+        quick=args.quick,
+        slo_ms=args.slo_ms,
+        fault_rate=args.fault_rate,
+        profile=args.profile,
+        write=not args.no_write,
+    )
+    print(render_load_benchmark(payload))
+    if "artifact" in payload:
+        print(f"\nwrote {payload['artifact']}")
+    else:
+        print("\n" + json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

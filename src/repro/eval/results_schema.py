@@ -259,6 +259,80 @@ def _llm_records(payload: dict) -> list:
     return records
 
 
+def _load_records(payload: dict) -> list:
+    records = []
+    for entry in payload["records"]:
+        point = (
+            f"{entry['net']}/{entry['backend']}/"
+            f"{entry['workers']}w"
+        )
+        for leg, identical in entry["bit_identical"].items():
+            if not identical:
+                raise DataflowError(
+                    f"load record {point}: gateway stream under "
+                    f"{leg} arrivals diverged from the reference"
+                )
+        if float(entry["sustained_rps"]) <= 0.0:
+            raise DataflowError(
+                f"load record {point}: sustained rate must be "
+                "positive"
+            )
+        latency = entry["latency_ms"]
+        for percentile in ("p50", "p90", "p99"):
+            if float(latency[percentile]) < 0.0:
+                raise DataflowError(
+                    f"load record {point}: negative latency "
+                    f"percentile {percentile}"
+                )
+        if not (
+            float(latency["p50"])
+            <= float(latency["p90"])
+            <= float(latency["p99"])
+        ):
+            raise DataflowError(
+                f"load record {point}: latency percentiles are not "
+                "monotone (p50 <= p90 <= p99)"
+            )
+        if float(latency["p99"]) > float(entry["slo_p99_ms"]):
+            raise DataflowError(
+                f"load record {point}: the recorded run misses its "
+                "own p99 SLO"
+            )
+        decomposition = sum(
+            float(entry["phases_ms"][phase]["mean"])
+            for phase in (
+                "queue_wait", "dispatch", "compute", "reassembly"
+            )
+        )
+        # Mean phases vs mean total: phases never overlap and gaps
+        # are unattributed, so the means must sum within the total
+        # (tolerance for float round-trip through JSON).
+        if decomposition > float(latency["mean"]) * (1 + 1e-9) + 1e-9:
+            raise DataflowError(
+                f"load record {point}: phase decomposition "
+                f"({decomposition:.4f} ms) sums past the mean "
+                f"total latency ({latency['mean']:.4f} ms)"
+            )
+        for side in ("synchronous_rps", "pipelined_rps"):
+            if float(entry[side]) <= 0.0:
+                raise DataflowError(
+                    f"load record {point}: {side} must be positive"
+                )
+        records.append(
+            _record(
+                entry["net"], entry["backend"], entry["precision"],
+                entry["cycles"],
+            )
+        )
+    headline = payload["pipelining"]
+    if float(headline["speedup"]) <= 0.0:
+        raise DataflowError(
+            "load artifact: pipelining headline speedup must be "
+            "positive"
+        )
+    return records
+
+
 def _engine_speed_records(payload: list) -> list:
     # Pre-schema trajectory entries carry the layer geometry but no
     # explicit net/backend/precision; the microbenchmark has always
@@ -283,6 +357,7 @@ NORMALIZERS = {
     "BENCH_backends.json": _backend_records,
     "BENCH_engine.json": _engine_speed_records,
     "BENCH_llm.json": _llm_records,
+    "BENCH_load.json": _load_records,
     "BENCH_faults.json": _fault_records,
     "BENCH_pareto.json": _pareto_records,
 }

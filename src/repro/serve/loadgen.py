@@ -1,0 +1,495 @@
+"""Load generation and SLO search for the serving gateway.
+
+The "millions of users" scenario made measurable: seeded arrival
+schedules drive a :class:`~repro.serve.gateway.ServingGateway` the way
+real traffic would, and per-response latency decompositions feed
+p50/p90/p99 percentile stats (the huggingbench ``RunnerStats`` shape).
+
+Two driving disciplines, the standard pair from serving-systems
+measurement:
+
+* **open loop** (:func:`run_open_loop`) — requests arrive on a fixed
+  schedule regardless of how the system keeps up, the honest way to
+  measure saturation (a closed loop self-throttles and hides queueing
+  collapse).  Schedules: :func:`poisson_schedule` (memoryless arrivals
+  at rate λ — exponential gaps from the repo's seeded RNG streams, so
+  a schedule replays exactly), :func:`burst_schedule` (synchronized
+  clumps, the coalescing stress case) and :func:`uniform_schedule`
+  (evenly spaced, the low-variance baseline).
+* **closed loop** (:func:`run_closed_loop`) — N concurrent submitters
+  each wait for their response before sending the next request; the
+  concurrency sweep that measures service capacity and unloaded
+  latency.
+
+:func:`run_batch_synchronous` is the *pre-gateway* driver reproduced
+for before/after comparison: one coalesced batch in flight at a time
+(dispatch, wait, repeat), which leaves every other worker idle.  The
+pipelined gateway's win over it is the headline number of
+``results/BENCH_load.json``.
+
+:func:`find_sustained_rate` binary-searches the highest offered rate a
+configuration sustains while meeting a p99 latency SLO: bracket by
+doubling (or halving) the probe rate, then bisect.  "Sustained" means
+the p99 met the target, nothing was rejected/shed, and completed
+throughput kept up with the offered rate — an open-loop queue that
+diverges fails both tail latency and throughput, so the search
+converges on the true knee.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataflowError
+from repro.serve.gateway import (
+    LATENCY_PHASES,
+    GatewayResponse,
+    GatewayResult,
+)
+from repro.utils.rng import make_rng
+
+#: Arrival processes the schedule factory knows.
+ARRIVAL_KINDS = ("poisson", "burst", "uniform")
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A seeded open-loop arrival schedule.
+
+    Attributes:
+        kind: arrival process name (see :data:`ARRIVAL_KINDS`).
+        rate: nominal offered rate in requests/sec.
+        offsets: per-request arrival offsets in seconds from stream
+            start, nondecreasing.
+    """
+
+    kind: str
+    rate: float
+    offsets: tuple
+
+    @property
+    def count(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def span(self) -> float:
+        """Seconds between the first and last arrival."""
+        if len(self.offsets) < 2:
+            return 0.0
+        return float(self.offsets[-1] - self.offsets[0])
+
+    @property
+    def offered_rate(self) -> float:
+        """Realized offered rate over the schedule's span."""
+        span = self.span
+        if span <= 0.0:
+            return float(self.rate)
+        return (self.count - 1) / span
+
+
+def poisson_schedule(
+    rate: float, count: int, seed: "int | str" = 0
+) -> ArrivalSchedule:
+    """Memoryless arrivals at ``rate`` req/s: i.i.d. exponential gaps
+    drawn from the seeded ``make_rng`` stream, so the same (rate,
+    count, seed) replays the exact same schedule."""
+    _check_rate_count(rate, count)
+    rng = make_rng("loadgen", "poisson", seed, int(count))
+    gaps = rng.exponential(1.0 / rate, size=count)
+    gaps[0] = 0.0  # the stream starts at the first arrival
+    return ArrivalSchedule(
+        kind="poisson",
+        rate=float(rate),
+        offsets=tuple(float(offset) for offset in np.cumsum(gaps)),
+    )
+
+
+def burst_schedule(
+    rate: float,
+    count: int,
+    burst_size: int = 8,
+    seed: "int | str" = 0,
+) -> ArrivalSchedule:
+    """Synchronized clumps: ``burst_size`` simultaneous arrivals, then
+    silence until the next burst, with the inter-burst gap sized so
+    the *average* offered rate is ``rate``.  The worst case for
+    coalescing (everything lands at once) and the best (the queue
+    drains fully between bursts)."""
+    _check_rate_count(rate, count)
+    if burst_size < 1:
+        raise DataflowError("burst_size must be >= 1")
+    gap = burst_size / rate
+    offsets = [
+        (index // burst_size) * gap for index in range(count)
+    ]
+    return ArrivalSchedule(
+        kind="burst",
+        rate=float(rate),
+        offsets=tuple(float(offset) for offset in offsets),
+    )
+
+
+def uniform_schedule(
+    rate: float, count: int, seed: "int | str" = 0
+) -> ArrivalSchedule:
+    """Evenly spaced arrivals at exactly ``rate`` req/s."""
+    _check_rate_count(rate, count)
+    return ArrivalSchedule(
+        kind="uniform",
+        rate=float(rate),
+        offsets=tuple(index / rate for index in range(count)),
+    )
+
+
+def _check_rate_count(rate: float, count: int) -> None:
+    if rate <= 0.0:
+        raise DataflowError("arrival rate must be positive")
+    if count < 1:
+        raise DataflowError("arrival count must be >= 1")
+
+
+def arrival_schedule(
+    kind: str,
+    rate: float,
+    count: int,
+    seed: "int | str" = 0,
+    burst_size: int = 8,
+) -> ArrivalSchedule:
+    """Factory over :data:`ARRIVAL_KINDS`."""
+    if kind == "poisson":
+        return poisson_schedule(rate, count, seed)
+    if kind == "burst":
+        return burst_schedule(rate, count, burst_size, seed)
+    if kind == "uniform":
+        return uniform_schedule(rate, count, seed)
+    raise DataflowError(
+        f"arrival kind must be one of {', '.join(ARRIVAL_KINDS)}, "
+        f"got {kind!r}"
+    )
+
+
+def percentile(values, fraction: float) -> float:
+    """Nearest-rank percentile (the huggingbench convention): the
+    smallest observed value with at least ``fraction`` of the sample
+    at or below it.  0.0 on an empty sample."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = math.ceil(fraction * len(ordered)) - 1
+    return float(ordered[min(max(rank, 0), len(ordered) - 1)])
+
+
+def latency_stats(responses) -> dict:
+    """p50/p90/p99/mean/max over total latency plus the per-phase
+    breakdown (seconds) of a response sample."""
+    totals = [response.latency.total for response in responses]
+    stats = {
+        "count": len(responses),
+        "p50": percentile(totals, 0.50),
+        "p90": percentile(totals, 0.90),
+        "p99": percentile(totals, 0.99),
+        "mean": (
+            float(sum(totals) / len(totals)) if totals else 0.0
+        ),
+        "max": float(max(totals)) if totals else 0.0,
+        "phases": {},
+    }
+    for phase in LATENCY_PHASES:
+        values = [
+            getattr(response.latency, phase)
+            for response in responses
+        ]
+        stats["phases"][phase] = {
+            "mean": (
+                float(sum(values) / len(values)) if values else 0.0
+            ),
+            "p99": percentile(values, 0.99),
+        }
+    return stats
+
+
+@dataclass(frozen=True)
+class LoadRun:
+    """One driven gateway stream: responses + aggregate result.
+
+    Attributes:
+        mode: "open", "closed" or "synchronous".
+        schedule: the arrival schedule (open loop only).
+        concurrency: submitter count (closed loop only).
+        responses: completed :class:`GatewayResponse`\\ s, seq order.
+        failed: requests rejected/shed by admission control.
+        wall_seconds: first submission → last response resolved.
+        result: the drained :class:`GatewayResult` (bit-identity,
+            cycles, health).
+        stats: :func:`latency_stats` of the completed responses.
+    """
+
+    mode: str
+    schedule: "ArrivalSchedule | None"
+    concurrency: "int | None"
+    responses: tuple
+    failed: int
+    wall_seconds: float
+    result: GatewayResult
+    stats: dict
+
+    @property
+    def achieved_rate(self) -> float:
+        """Completed requests per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return len(self.responses) / self.wall_seconds
+
+
+def _settle(settled) -> "tuple[list, int]":
+    """Split gathered results into responses and admission failures;
+    re-raise anything that isn't load shedding."""
+    responses = []
+    failures = 0
+    for item in settled:
+        if isinstance(item, GatewayResponse):
+            responses.append(item)
+        elif isinstance(item, DataflowError):
+            failures += 1
+        elif isinstance(item, BaseException):
+            raise item
+    responses.sort(key=lambda response: response.seq)
+    return responses, failures
+
+
+def run_open_loop(gateway, images, schedule: ArrivalSchedule) -> LoadRun:
+    """Drive one gateway stream open-loop on an arrival schedule.
+
+    ``images`` must carry ``schedule.count`` rows; request ``i`` is
+    submitted at ``offsets[i]`` whether or not earlier requests have
+    completed (arrival never waits on service — the open-loop
+    property).  Returns after the stream fully drains.
+    """
+    images = np.asarray(images)
+    if images.shape[0] != schedule.count:
+        raise DataflowError(
+            f"open-loop drive needs one image per arrival: got "
+            f"{images.shape[0]} images for {schedule.count} arrivals"
+        )
+
+    async def _drive():
+        start = time.monotonic()
+        tasks = []
+        for index, offset in enumerate(schedule.offsets):
+            delay = (start + offset) - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(
+                asyncio.ensure_future(
+                    gateway.submit_async(images[index])
+                )
+            )
+        settled = await asyncio.gather(
+            *tasks, return_exceptions=True
+        )
+        return settled, time.monotonic() - start
+
+    settled, wall = asyncio.run(_drive())
+    responses, failures = _settle(settled)
+    result = gateway.finish()
+    return LoadRun(
+        mode="open",
+        schedule=schedule,
+        concurrency=None,
+        responses=tuple(responses),
+        failed=failures,
+        wall_seconds=wall,
+        result=result,
+        stats=latency_stats(responses),
+    )
+
+
+def run_closed_loop(gateway, images, concurrency: int) -> LoadRun:
+    """Drive one gateway stream closed-loop: ``concurrency``
+    submitters each await their response before sending the next
+    request, until every image has been served."""
+    images = np.asarray(images)
+    if concurrency < 1:
+        raise DataflowError("concurrency must be >= 1")
+
+    async def _drive():
+        start = time.monotonic()
+        counter = itertools.count()
+        settled = []
+
+        async def submitter():
+            while True:
+                index = next(counter)
+                if index >= images.shape[0]:
+                    return
+                try:
+                    settled.append(
+                        await gateway.submit_async(images[index])
+                    )
+                except DataflowError as error:
+                    settled.append(error)
+
+        await asyncio.gather(
+            *(submitter() for _ in range(concurrency))
+        )
+        return settled, time.monotonic() - start
+
+    settled, wall = asyncio.run(_drive())
+    responses, failures = _settle(settled)
+    result = gateway.finish()
+    return LoadRun(
+        mode="closed",
+        schedule=None,
+        concurrency=int(concurrency),
+        responses=tuple(responses),
+        failed=failures,
+        wall_seconds=wall,
+        result=result,
+        stats=latency_stats(responses),
+    )
+
+
+def run_batch_synchronous(gateway, images, batch: int) -> LoadRun:
+    """The pre-gateway driving discipline, for before/after
+    comparison: submit one ``batch``-sized clump, wait for *all* of it,
+    then submit the next — exactly one coalesced job in flight at a
+    time, so N-1 of N workers idle and every round-trip's dispatch +
+    reassembly happens on the critical path."""
+    images = np.asarray(images)
+    if batch < 1:
+        raise DataflowError("batch must be >= 1")
+
+    async def _drive():
+        start = time.monotonic()
+        settled = []
+        for base in range(0, images.shape[0], batch):
+            clump = await asyncio.gather(
+                *(
+                    gateway.submit_async(image)
+                    for image in images[base:base + batch]
+                ),
+                return_exceptions=True,
+            )
+            settled.extend(clump)
+        return settled, time.monotonic() - start
+
+    settled, wall = asyncio.run(_drive())
+    responses, failures = _settle(settled)
+    result = gateway.finish()
+    return LoadRun(
+        mode="synchronous",
+        schedule=None,
+        concurrency=None,
+        responses=tuple(responses),
+        failed=failures,
+        wall_seconds=wall,
+        result=result,
+        stats=latency_stats(responses),
+    )
+
+
+def sustained(run: LoadRun, slo_p99: float, keepup: float = 0.85) -> bool:
+    """Did an open-loop run sustain its offered rate under the SLO?
+
+    Three conditions, all host-observable symptoms of saturation:
+    p99 total latency within ``slo_p99`` seconds, zero admission
+    failures, and completed throughput at least ``keepup`` of the
+    offered rate (a diverging queue finishes long after the last
+    arrival, collapsing the achieved rate).
+    """
+    if run.failed > 0:
+        return False
+    if run.stats["p99"] > slo_p99:
+        return False
+    offered = (
+        run.schedule.offered_rate if run.schedule is not None else 0.0
+    )
+    if offered <= 0.0:
+        return True
+    return run.achieved_rate >= keepup * offered
+
+
+def find_sustained_rate(
+    probe,
+    slo_p99: float,
+    start_rate: float,
+    *,
+    bracket_steps: int = 6,
+    iterations: int = 5,
+    keepup: float = 0.85,
+) -> dict:
+    """Binary-search the highest offered rate meeting the p99 SLO.
+
+    Args:
+        probe: callable ``rate -> LoadRun`` running one fresh
+            open-loop stream at that offered rate.
+        slo_p99: p99 total-latency target in seconds.
+        start_rate: initial probe rate (e.g. the closed-loop service
+            capacity estimate).
+        bracket_steps: rate doublings/halvings to bracket the knee.
+        iterations: bisection steps inside the bracket.
+        keepup: throughput floor for :func:`sustained`.
+
+    Returns:
+        ``{"rate", "run", "probes", "history"}`` — the highest
+        sustained rate, its :class:`LoadRun` (None if even the lowest
+        probe failed), the probe count, and per-probe
+        ``(rate, sustained, p99)`` tuples.
+    """
+    if start_rate <= 0.0:
+        raise DataflowError("start_rate must be positive")
+    history = []
+
+    def attempt(rate: float) -> LoadRun:
+        run = probe(rate)
+        history.append(
+            (
+                float(rate),
+                sustained(run, slo_p99, keepup),
+                float(run.stats["p99"]),
+            )
+        )
+        return run
+
+    rate = float(start_rate)
+    run = attempt(rate)
+    if sustained(run, slo_p99, keepup):
+        best, best_run, ceiling = rate, run, None
+        for _ in range(bracket_steps):
+            rate *= 2.0
+            run = attempt(rate)
+            if sustained(run, slo_p99, keepup):
+                best, best_run = rate, run
+            else:
+                ceiling = rate
+                break
+    else:
+        ceiling = rate
+        best, best_run = 0.0, None
+        for _ in range(bracket_steps):
+            rate /= 2.0
+            run = attempt(rate)
+            if sustained(run, slo_p99, keepup):
+                best, best_run = rate, run
+                break
+            ceiling = rate
+    if best_run is not None and ceiling is not None:
+        for _ in range(iterations):
+            mid = (best + ceiling) / 2.0
+            run = attempt(mid)
+            if sustained(run, slo_p99, keepup):
+                best, best_run = mid, run
+            else:
+                ceiling = mid
+    return {
+        "rate": float(best),
+        "run": best_run,
+        "probes": len(history),
+        "history": history,
+    }

@@ -52,7 +52,7 @@ from repro.nvdla.pipeline import StageResult
 from repro.runtime.executor import BatchExecutor
 from repro.runtime.lowering import CompiledNetwork
 from repro.runtime.runner import NetworkResult, NetworkRunner
-from repro.serve.queue import Request, RequestQueue
+from repro.serve.queue import ADMISSION_POLICIES, Request, RequestQueue
 from repro.serve.shm import ShmArena, ShmRef, default_transport, \
     shm_available
 from repro.serve.supervisor import ShardSupervisor
@@ -192,7 +192,12 @@ def _worker_loop(
                 continue
             time.sleep(fault.seconds)  # slow
         try:
+            started = time.monotonic()
             record = executor.run_job(np.asarray(images))
+            # Worker-side compute wall time: the gateway's latency
+            # decomposition attributes this phase exactly, instead of
+            # inferring it from parent-side round-trip timestamps.
+            record["host_seconds"] = time.monotonic() - started
             if arena is not None:
                 record["output"] = arena.place(record["output"])
             result_queue.put(
@@ -287,10 +292,10 @@ class ShardedRunner:
         """
         if workers < 1:
             raise DataflowError("workers must be >= 1")
-        if admission not in ("block", "reject"):
+        if admission not in ADMISSION_POLICIES:
             raise DataflowError(
-                f"admission policy must be 'block' or 'reject', "
-                f"got {admission!r}"
+                f"admission policy must be one of "
+                f"{', '.join(ADMISSION_POLICIES)}, got {admission!r}"
             )
         if (
             fault_plan is not None
@@ -406,7 +411,13 @@ class ShardedRunner:
         # The degraded path runs the parent's own executor — the same
         # BatchExecutor code path (and fused setting) the shards run,
         # so degraded batches stay bit-identical in outputs and cycles.
-        fallback = self._runner.executor(model_name).run_job
+        run_job = self._runner.executor(model_name).run_job
+
+        def fallback(images):
+            started = time.monotonic()
+            record = run_job(images)
+            record["host_seconds"] = time.monotonic() - started
+            return record
         self._supervisor = ShardSupervisor(
             self._ctx,
             payload,

@@ -32,6 +32,16 @@ totals are bit-identical to the single-process
 :meth:`~repro.runtime.runner.NetworkRunner.run`.  The
 chaos-differential suite (``tests/serve/test_fault_tolerance.py``)
 pins exactly that invariant.
+
+Collection is **event-driven**: :meth:`ShardSupervisor.next_result`
+blocks on the in-process result funnel with no timeout — a finished
+job wakes it at thread-wakeup cost, never poll granularity.  Health
+probing (respawn-due / dead / hung detection) runs on its own
+background thread at ``poll_interval`` cadence, decoupled from
+collection, so faults are detected and recovered even while the
+consumer is busy reassembling elsewhere (the pipelined gateway) or
+not collecting at all.  Degraded jobs and probe-thread failures reach
+the consumer through sentinel messages on the same funnel.
 """
 
 from __future__ import annotations
@@ -55,6 +65,15 @@ HEALTH_COUNTERS = (
     "duplicates_discarded",
     "worker_errors",
 )
+
+#: Funnel sentinel: a job moved to the degraded list — wakes a
+#: consumer blocked in :meth:`ShardSupervisor.next_result` so the
+#: in-process fallback runs promptly.  Identity-compared; a worker
+#: message is always a 5-tuple and can never alias it.
+_DEGRADED_WAKE = ("degraded-wake",)
+
+#: Funnel message head for an exception escaping the probe thread.
+_PROBE_ERROR = "probe-error"
 
 
 class _Shard:
@@ -219,6 +238,26 @@ class ShardSupervisor:
         self._degraded: list = []  # job ids awaiting in-process run
         self._done: set = set()
         self.stats = {counter: 0 for counter in HEALTH_COUNTERS}
+        # Autonomous health probing: recovery cadence must not depend
+        # on how often (or whether) the consumer calls next_result.
+        self._probe_stop = Event()
+        self._probe_thread = Thread(
+            target=self._probe_loop,
+            daemon=True,
+            name="shard-probe",
+        )
+        self._probe_thread.start()
+
+    def _probe_loop(self) -> None:  # pragma: no cover - thread body
+        """Run the health probe at ``poll_interval`` cadence until
+        :meth:`stop`.  A probe failure (e.g. a poisoned job raising on
+        redispatch) is funneled to the consumer and ends the loop."""
+        while not self._probe_stop.wait(self.poll_interval):
+            try:
+                self._probe()
+            except BaseException as error:
+                self._results.put((_PROBE_ERROR, error))
+                return
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -337,6 +376,7 @@ class ShardSupervisor:
         a partial failure never leaves a second call re-walking closed
         queues, and force-killed workers get ``cancel_join_thread()``
         so their queue feeder threads cannot block interpreter exit."""
+        self._probe_stop.set()
         with self._lock:
             if self._stopped:
                 return
@@ -428,9 +468,7 @@ class ShardSupervisor:
         held)."""
         shard = self._pick_shard()
         if shard is None:
-            self._owner.pop(job_id, None)
-            self._deadlines.pop(job_id, None)
-            self._degraded.append(job_id)
+            self._queue_degraded(job_id)
             return
         attempt = self._attempt[job_id]
         self._owner[job_id] = shard.index
@@ -517,11 +555,20 @@ class ShardSupervisor:
                     f"{self.max_attempts} attempts; last worker "
                     f"error:\n{self._last_error.get(job_id, '?')}"
                 )
-            self._owner.pop(job_id, None)
-            self._deadlines.pop(job_id, None)
-            self._degraded.append(job_id)
+            self._queue_degraded(job_id)
             return
         self._dispatch(job_id)
+
+    def _queue_degraded(self, job_id: int) -> None:
+        """Hand a job to the in-process fallback path (lock held) and
+        wake any consumer blocked on the result funnel.  Every append
+        pairs with one wake sentinel; a consumer that drains the list
+        without consuming its sentinel just sees a benign spurious
+        wake later."""
+        self._owner.pop(job_id, None)
+        self._deadlines.pop(job_id, None)
+        self._degraded.append(job_id)
+        self._results.put(_DEGRADED_WAKE)
 
     def _probe(self) -> None:
         """Health pass: respawn due shards, detect dead and hung
@@ -572,6 +619,12 @@ class ShardSupervisor:
         completed job is returned exactly once; duplicate/stale worker
         results are discarded internally.
 
+        The wait is event-driven: a pure blocking read of the result
+        funnel, woken by worker completions, degraded-job sentinels and
+        probe failures — the background probe thread (not this call)
+        owns fault detection, so collection latency is thread-wakeup
+        cost regardless of ``poll_interval``.
+
         Raises:
             DataflowError: a job exhausted its attempts with worker
                 errors (message carries the worker traceback), or
@@ -591,13 +644,15 @@ class ShardSupervisor:
                     degraded_job = self._degraded.pop(0)
             if degraded_job is not None:
                 return self._run_degraded(degraded_job)
-            try:
-                message = self._results.get(
-                    timeout=self.poll_interval
-                )
-            except Empty:
-                self._probe()
-                continue
+            message = self._results.get()
+            if message is _DEGRADED_WAKE:
+                continue  # re-check the degraded list
+            if (
+                isinstance(message, tuple)
+                and len(message) == 2
+                and message[0] == _PROBE_ERROR
+            ):
+                raise message[1]
             completed = self._absorb(message)
             if completed is not None:
                 return completed

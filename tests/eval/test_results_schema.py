@@ -162,6 +162,115 @@ class TestNormalizers:
             }
         ]
 
+    def _load_payload(self, **overrides):
+        record = {
+            "net": "mobilenet_v2",
+            "backend": "tempus",
+            "precision": "int8",
+            "workers": 2,
+            "cycles": 1000,
+            "bit_identical": {
+                "poisson": True,
+                "burst": True,
+                "synchronous": True,
+                "pipelined": True,
+                "chaos_poisson": True,
+            },
+            "sustained_rps": 450.0,
+            "slo_p99_ms": 20.0,
+            "latency_ms": {
+                "p50": 4.0,
+                "p90": 8.0,
+                "p99": 12.0,
+                "mean": 5.0,
+                "max": 12.0,
+            },
+            "phases_ms": {
+                "queue_wait": {"mean": 1.0, "p99": 3.0},
+                "dispatch": {"mean": 0.2, "p99": 0.5},
+                "compute": {"mean": 3.0, "p99": 6.0},
+                "reassembly": {"mean": 0.1, "p99": 0.2},
+            },
+            "synchronous_rps": 300.0,
+            "pipelined_rps": 420.0,
+        }
+        record.update(overrides)
+        return {
+            "records": [record],
+            "pipelining": {
+                "workers": 2,
+                "net": "mobilenet_v2",
+                "backend": "tempus",
+                "before_rps": 300.0,
+                "after_rps": 420.0,
+                "speedup": 1.4,
+            },
+        }
+
+    def test_load_payload_validates(self):
+        records = normalize_records(
+            "BENCH_load.json", self._load_payload()
+        )
+        assert records == [
+            {
+                "net": "mobilenet_v2",
+                "backend": "tempus",
+                "precision": "int8",
+                "cycles": 1000,
+            }
+        ]
+
+    def test_load_divergent_identity_leg_rejected(self):
+        payload = self._load_payload()
+        payload["records"][0]["bit_identical"]["burst"] = False
+        with pytest.raises(DataflowError, match="burst.*diverged"):
+            normalize_records("BENCH_load.json", payload)
+
+    def test_load_zero_sustained_rate_rejected(self):
+        payload = self._load_payload(sustained_rps=0.0)
+        with pytest.raises(DataflowError, match="sustained rate"):
+            normalize_records("BENCH_load.json", payload)
+
+    def test_load_negative_percentile_rejected(self):
+        payload = self._load_payload()
+        payload["records"][0]["latency_ms"]["p90"] = -1.0
+        with pytest.raises(
+            DataflowError, match="negative latency percentile"
+        ):
+            normalize_records("BENCH_load.json", payload)
+
+    def test_load_non_monotone_percentiles_rejected(self):
+        payload = self._load_payload()
+        payload["records"][0]["latency_ms"]["p50"] = 9.0
+        payload["records"][0]["latency_ms"]["p90"] = 8.0
+        with pytest.raises(DataflowError, match="not monotone"):
+            normalize_records("BENCH_load.json", payload)
+
+    def test_load_missed_slo_rejected(self):
+        payload = self._load_payload()
+        payload["records"][0]["latency_ms"]["p99"] = 25.0
+        with pytest.raises(DataflowError, match="misses its own"):
+            normalize_records("BENCH_load.json", payload)
+
+    def test_load_decomposition_past_total_rejected(self):
+        payload = self._load_payload()
+        payload["records"][0]["phases_ms"]["compute"]["mean"] = 9.0
+        with pytest.raises(DataflowError, match="sums past"):
+            normalize_records("BENCH_load.json", payload)
+
+    def test_load_nonpositive_pipelining_side_rejected(self):
+        payload = self._load_payload(synchronous_rps=0.0)
+        with pytest.raises(
+            DataflowError, match="synchronous_rps"
+        ):
+            normalize_records("BENCH_load.json", payload)
+
+    def test_load_missing_field_rejected_cleanly(self):
+        payload = self._load_payload()
+        del payload["records"][0]["phases_ms"]
+        with pytest.raises(DataflowError, match="expected layout"):
+            normalize_records("BENCH_load.json", payload)
+
     def test_engine_trajectory_defaults(self):
         payload = [{"layer": {}, "simulated_cycles": 5}]
         records = normalize_records("BENCH_engine.json", payload)

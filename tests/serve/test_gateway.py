@@ -1,0 +1,348 @@
+"""Gateway tests: pipelined serving stays bit-identical under load.
+
+The serving-gateway contract, pinned end to end:
+
+* a drained :class:`~repro.serve.ServingGateway` stream is
+  **bit-identical** — outputs AND cycle totals — to the
+  single-process :meth:`~repro.runtime.runner.NetworkRunner.run`
+  reference over the same images, under any arrival schedule
+  (Poisson, burst, closed loop, the synchronous before/after driver),
+  any worker count, and a 25% injected-fault chaos plan;
+* every response's latency decomposition (queue wait / dispatch /
+  compute / reassembly) is non-negative and never sums past the
+  total;
+* eager dispatch keeps idle-pool latency off the ``max_wait``
+  coalescing window (the no-polling regression test);
+* the supervisor's probe thread detects hung shards *autonomously* —
+  without the consumer sitting in ``next_result``.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import DataflowError
+from repro.nvdla.config import CoreConfig
+from repro.runtime import NetworkRunner
+from repro.serve import (
+    LATENCY_PHASES,
+    FaultPlan,
+    ServingGateway,
+    ShardedRunner,
+    burst_schedule,
+    poisson_schedule,
+    run_batch_synchronous,
+    run_closed_loop,
+    run_open_loop,
+)
+
+TINY = dict(scale=0.06, input_size=16)
+MODEL = "resnet18"
+
+
+def _config():
+    return CoreConfig(k=4, n=4)
+
+
+def _reference(batch):
+    return NetworkRunner(_config(), engine="tempus", **TINY).run(
+        MODEL, batch
+    )
+
+
+def _server(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("max_batch", 4)
+    return ShardedRunner(
+        config=_config(), engine="tempus", **TINY, **kwargs
+    )
+
+
+def _images(server, count):
+    return server.synthesize_batch(MODEL, count)
+
+
+def _assert_identical(result, reference, context=""):
+    assert np.array_equal(result.output, reference.output), context
+    assert result.conv_cycles == reference.conv_cycles, context
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_poisson_arrivals_any_worker_count(self, workers):
+        """Open-loop Poisson arrivals produce the exact reference
+        tensor and cycle totals at every pool size."""
+        requests = 10
+        reference = _reference(requests)
+        with _server(workers=workers) as server:
+            server.start(MODEL)
+            images = _images(server, requests)
+            run = run_open_loop(
+                ServingGateway(server, MODEL),
+                images,
+                poisson_schedule(300.0, requests, seed=7),
+            )
+        _assert_identical(run.result, reference, f"{workers} workers")
+        assert run.failed == 0
+        assert run.result.completed == tuple(range(requests))
+
+    def test_burst_arrivals(self):
+        """Synchronized clumps — the coalescing stress case — change
+        the batch split, never the results."""
+        requests = 12
+        reference = _reference(requests)
+        with _server() as server:
+            server.start(MODEL)
+            run = run_open_loop(
+                ServingGateway(server, MODEL),
+                _images(server, requests),
+                burst_schedule(400.0, requests, burst_size=4, seed=3),
+            )
+        _assert_identical(run.result, reference)
+
+    def test_closed_loop_and_synchronous_driver(self):
+        """The pipelined closed loop and the pre-gateway synchronous
+        driver both drain to the same reference stream."""
+        requests = 8
+        reference = _reference(requests)
+        with _server() as server:
+            server.start(MODEL)
+            images = _images(server, requests)
+            closed = run_closed_loop(
+                ServingGateway(server, MODEL), images, concurrency=4
+            )
+            sync = run_batch_synchronous(
+                ServingGateway(server, MODEL, eager=False),
+                images,
+                batch=4,
+            )
+        _assert_identical(closed.result, reference, "closed loop")
+        _assert_identical(sync.result, reference, "synchronous")
+
+    def test_chaos_poisson_25_percent_faults(self):
+        """The headline chaos leg: 25% injected faults (crash /
+        transient error / slow) under Poisson load — recovery runs
+        under the gateway and the stream stays bit-identical."""
+        requests = 10
+        reference = _reference(requests)
+        plan = FaultPlan.random(
+            110, 0.25, kinds=("crash", "error", "slow"),
+            slow_seconds=0.02,
+        )
+        with _server(fault_plan=plan, job_deadline=2.0) as server:
+            server.start(MODEL)
+            run = run_open_loop(
+                ServingGateway(server, MODEL),
+                _images(server, requests),
+                poisson_schedule(300.0, requests, seed=7),
+            )
+        _assert_identical(run.result, reference, "25% chaos")
+        health = run.result.health
+        assert (
+            health["restarts"]
+            + health["retries"]
+            + health["redispatched"]
+            + health["degraded_jobs"]
+            > 0
+        ), "the fault plan injected nothing — chaos leg is vacuous"
+
+    def test_back_to_back_streams_reuse_the_pool(self):
+        """An SLO search runs many gateways over one warm pool; each
+        stream must drain independently and stay bit-identical."""
+        requests = 6
+        reference = _reference(requests)
+        with _server() as server:
+            server.start(MODEL)
+            images = _images(server, requests)
+            for round_index in range(3):
+                run = run_closed_loop(
+                    ServingGateway(server, MODEL),
+                    images,
+                    concurrency=2,
+                )
+                _assert_identical(
+                    run.result, reference, f"stream {round_index}"
+                )
+
+
+class TestLatencyDecomposition:
+    def test_phases_non_negative_and_sum_within_total(self):
+        requests = 10
+        with _server() as server:
+            server.start(MODEL)
+            run = run_open_loop(
+                ServingGateway(server, MODEL),
+                _images(server, requests),
+                poisson_schedule(500.0, requests, seed=1),
+            )
+        assert len(run.responses) == requests
+        for response in run.responses:
+            latency = response.latency
+            parts = [
+                getattr(latency, phase) for phase in LATENCY_PHASES
+            ]
+            assert all(part >= 0.0 for part in parts)
+            assert latency.total > 0.0
+            assert sum(parts) <= latency.total + 1e-9
+
+    def test_profile_rows_cover_every_job(self):
+        requests = 8
+        with _server() as server:
+            server.start(MODEL)
+            run = run_closed_loop(
+                ServingGateway(server, MODEL),
+                _images(server, requests),
+                concurrency=4,
+            )
+        profile = run.result.profile
+        assert len(profile) == run.result.jobs
+        assert sum(row["batch"] for row in profile) == requests
+        for row in profile:
+            for phase in (
+                "coalesce", "shm_write", "compute", "reassemble"
+            ):
+                assert row[phase] >= 0.0
+
+
+class TestEagerDispatch:
+    def test_idle_load_latency_beats_the_coalescing_window(self):
+        """The no-polling regression test: with an idle pool, eager
+        dispatch ships each request immediately, so latency stays well
+        under ``max_wait``; the non-eager gateway pays the full
+        coalescing window per lone request."""
+        requests = 8
+        max_wait = 0.15
+        with _server(workers=1, max_wait=max_wait) as server:
+            server.start(MODEL)
+            images = _images(server, requests)
+            # Warm the pool so neither measured stream pays spawn
+            # or first-compile costs.
+            run_closed_loop(
+                ServingGateway(server, MODEL), images, concurrency=1
+            )
+            eager = run_closed_loop(
+                ServingGateway(server, MODEL), images, concurrency=1
+            )
+            lazy = run_closed_loop(
+                ServingGateway(server, MODEL, eager=False),
+                images,
+                concurrency=1,
+            )
+        # A lone closed-loop submitter never fills max_batch, so the
+        # non-eager queue holds every request for the whole window.
+        # Medians, not maxima: a single host-scheduler hiccup must
+        # not flake the regression test.
+        assert lazy.stats["p50"] >= max_wait
+        assert eager.stats["p50"] < max_wait / 2
+        assert eager.stats["p50"] < lazy.stats["p50"] / 2
+
+
+class TestAdmission:
+    def test_shed_policy_fails_oldest_ticket(self):
+        with _server(
+            workers=1, max_pending=2, admission="shed"
+        ) as server:
+            server.start(MODEL)
+            gateway = ServingGateway(
+                server, MODEL, max_wait=10.0, eager=False
+            )
+            images = _images(server, 6)
+            tickets = [gateway.submit(image) for image in images]
+            # max_batch=4 < 6 submissions with a huge window and
+            # depth 2: the oldest overflow tickets must be shed.
+            gateway.finish()
+        outcomes = []
+        for ticket in tickets:
+            try:
+                ticket.result(timeout=5)
+                outcomes.append("served")
+            except DataflowError:
+                outcomes.append("shed")
+        assert "shed" in outcomes
+        assert "served" in outcomes
+        stats = gateway.stats()
+        assert stats["shed"] == outcomes.count("shed")
+
+    def test_reject_policy_raises_at_submit(self):
+        with _server(
+            workers=1, max_pending=1, admission="reject"
+        ) as server:
+            server.start(MODEL)
+            gateway = ServingGateway(
+                server, MODEL, max_wait=10.0, eager=False
+            )
+            images = _images(server, 4)
+            gateway.submit(images[0])
+            with pytest.raises(DataflowError):
+                for image in images[1:]:
+                    gateway.submit(image)
+            gateway.finish()
+
+
+class TestSupervisorProbe:
+    def test_hang_detected_without_a_consumer(self):
+        """The probe thread is autonomous: a hung shard is detected
+        and redispatched while nobody sits in ``next_result`` — the
+        event-driven refactor must not have coupled fault detection
+        to the consumer's cadence."""
+        from repro.serve import FaultSpec
+
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="hang", job=0, seconds=60.0),)
+        )
+        with _server(
+            workers=2, fault_plan=plan, job_deadline=0.3
+        ) as server:
+            server.start(MODEL)
+            supervisor = server.supervisor
+            supervisor.begin_stream()
+            images = _images(server, 2)
+            supervisor.submit(0, images)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if supervisor.health()["deadline_misses"] >= 1:
+                    break
+                time.sleep(0.05)
+            health = supervisor.health()
+            assert health["deadline_misses"] >= 1, (
+                "the probe thread never noticed the hung shard"
+            )
+            # The redispatched job still completes and is delivered.
+            job_id, _, record = supervisor.next_result()
+            assert job_id == 0
+            assert record["output"].shape[0] == 2
+
+    def test_degraded_wake_reaches_a_parked_consumer(self):
+        """Event-driven collection: a consumer already blocked inside
+        ``next_result`` when the pool collapses must be woken by the
+        degraded-job sentinel and serve the batch in-process — not sit
+        until some poll interval expires."""
+        from repro.serve import FaultSpec
+
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="crash", job=None, attempt=None),)
+        )
+        with _server(
+            workers=1, fault_plan=plan, max_restarts=0
+        ) as server:
+            server.start(MODEL)
+            supervisor = server.supervisor
+            supervisor.begin_stream()
+            images = _images(server, 2)
+            supervisor.submit(0, images)
+            waited = {}
+
+            def consume():
+                waited["result"] = supervisor.next_result()
+
+            consumer = threading.Thread(target=consume)
+            consumer.start()
+            consumer.join(timeout=30)
+            assert not consumer.is_alive()
+            job_id, shard_index, record = waited["result"]
+            assert job_id == 0
+            assert shard_index is None  # served by the fallback
+            assert record["output"].shape[0] == 2
+            assert supervisor.health()["degraded_jobs"] >= 1

@@ -1,0 +1,213 @@
+"""Tests for the load generator: schedules, percentiles, SLO search.
+
+Everything here is host-independent: schedules are pure functions of
+(rate, count, seed), percentiles are nearest-rank over given samples,
+and the SLO search is exercised against a synthetic probe with a known
+capacity knee — no shard pool is spawned.
+"""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.serve import (
+    ARRIVAL_KINDS,
+    arrival_schedule,
+    burst_schedule,
+    find_sustained_rate,
+    latency_stats,
+    poisson_schedule,
+    uniform_schedule,
+)
+from repro.serve.gateway import LatencyBreakdown
+from repro.serve.loadgen import percentile, sustained
+
+
+class TestSchedules:
+    def test_poisson_is_deterministic_per_seed(self):
+        first = poisson_schedule(100.0, 32, seed=5)
+        again = poisson_schedule(100.0, 32, seed=5)
+        other = poisson_schedule(100.0, 32, seed=6)
+        assert first.offsets == again.offsets
+        assert first.offsets != other.offsets
+
+    def test_poisson_shape(self):
+        schedule = poisson_schedule(200.0, 64, seed=1)
+        assert schedule.kind == "poisson"
+        assert schedule.count == 64
+        assert schedule.offsets[0] == 0.0
+        assert all(
+            later >= earlier
+            for earlier, later in zip(
+                schedule.offsets, schedule.offsets[1:]
+            )
+        )
+        # Realized rate is within a factor of ~2 of nominal for a
+        # 64-arrival sample (exponential gaps, seeded — no flake).
+        assert 0.5 * 200.0 < schedule.offered_rate < 2.0 * 200.0
+
+    def test_burst_clumps(self):
+        schedule = burst_schedule(100.0, 12, burst_size=4)
+        assert schedule.offsets[:4] == (0.0,) * 4
+        gap = 4 / 100.0
+        assert schedule.offsets[4:8] == (gap,) * 4
+        assert schedule.offsets[8:] == (2 * gap,) * 4
+        # Average offered rate matches the nominal rate.
+        assert math.isclose(
+            schedule.offered_rate, (12 - 1) / (2 * gap)
+        )
+
+    def test_uniform_spacing(self):
+        schedule = uniform_schedule(50.0, 5)
+        assert schedule.offsets == (
+            0.0, 1 / 50.0, 2 / 50.0, 3 / 50.0, 4 / 50.0
+        )
+        assert math.isclose(schedule.offered_rate, 50.0)
+
+    def test_factory_covers_every_kind(self):
+        for kind in ARRIVAL_KINDS:
+            schedule = arrival_schedule(kind, 100.0, 8, seed=2)
+            assert schedule.kind == kind
+            assert schedule.count == 8
+
+    def test_factory_rejects_unknown_kind(self):
+        with pytest.raises(DataflowError):
+            arrival_schedule("adversarial", 100.0, 8)
+
+    @pytest.mark.parametrize("rate,count", [(0.0, 8), (-1.0, 8), (10.0, 0)])
+    def test_invalid_rate_or_count_rejected(self, rate, count):
+        with pytest.raises(DataflowError):
+            poisson_schedule(rate, count)
+
+    def test_invalid_burst_size_rejected(self):
+        with pytest.raises(DataflowError):
+            burst_schedule(100.0, 8, burst_size=0)
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(values, 0.50) == 30.0
+        assert percentile(values, 0.90) == 50.0
+        assert percentile(values, 0.99) == 50.0
+        assert percentile(values, 0.20) == 10.0
+
+    def test_order_independent_and_empty(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+        assert percentile([], 0.99) == 0.0
+
+    def test_latency_stats_shape(self):
+        def response(total):
+            return SimpleNamespace(
+                latency=LatencyBreakdown(
+                    queue_wait=total / 4,
+                    dispatch=total / 8,
+                    compute=total / 2,
+                    reassembly=total / 8,
+                    total=total,
+                )
+            )
+
+        stats = latency_stats(
+            [response(t) for t in (0.01, 0.02, 0.03, 0.04)]
+        )
+        assert stats["count"] == 4
+        assert stats["p50"] == 0.02
+        assert stats["p99"] == 0.04
+        assert stats["max"] == 0.04
+        assert math.isclose(stats["mean"], 0.025)
+        assert set(stats["phases"]) == {
+            "queue_wait", "dispatch", "compute", "reassembly"
+        }
+        assert math.isclose(
+            stats["phases"]["compute"]["p99"], 0.02
+        )
+
+
+def _fake_run(p99, failed=0, offered=100.0, achieved=100.0):
+    return SimpleNamespace(
+        failed=failed,
+        stats={"p99": p99},
+        schedule=SimpleNamespace(offered_rate=offered),
+        achieved_rate=achieved,
+    )
+
+
+class TestSustained:
+    def test_all_conditions_met(self):
+        assert sustained(_fake_run(0.010), slo_p99=0.020)
+
+    def test_p99_over_slo_fails(self):
+        assert not sustained(_fake_run(0.030), slo_p99=0.020)
+
+    def test_admission_failures_fail(self):
+        assert not sustained(
+            _fake_run(0.010, failed=1), slo_p99=0.020
+        )
+
+    def test_throughput_collapse_fails(self):
+        run = _fake_run(0.010, offered=100.0, achieved=50.0)
+        assert not sustained(run, slo_p99=0.020, keepup=0.85)
+
+
+class TestFindSustainedRate:
+    def _knee_probe(self, capacity, log=None):
+        """Synthetic service: p99 is flat below ``capacity`` and
+        blows up above it."""
+
+        def probe(rate):
+            if log is not None:
+                log.append(rate)
+            p99 = 0.005 if rate <= capacity else 0.500
+            return _fake_run(p99, offered=rate, achieved=rate)
+
+        return probe
+
+    def test_converges_on_the_knee_from_below(self):
+        capacity = 400.0
+        probes = []
+        search = find_sustained_rate(
+            self._knee_probe(capacity, probes),
+            slo_p99=0.020,
+            start_rate=100.0,
+            bracket_steps=6,
+            iterations=6,
+        )
+        assert search["rate"] <= capacity
+        # Bisection inside a doubling bracket lands within ~2% here.
+        assert search["rate"] >= capacity * 0.95
+        assert search["run"] is not None
+        assert search["probes"] == len(probes) == len(search["history"])
+        for rate, ok, p99 in search["history"]:
+            assert ok == (rate <= capacity)
+            assert p99 >= 0.0
+
+    def test_converges_on_the_knee_from_above(self):
+        capacity = 50.0
+        search = find_sustained_rate(
+            self._knee_probe(capacity),
+            slo_p99=0.020,
+            start_rate=1000.0,
+            bracket_steps=8,
+            iterations=6,
+        )
+        assert 0.0 < search["rate"] <= capacity
+
+    def test_nothing_sustainable_returns_zero(self):
+        def probe(rate):
+            return _fake_run(1.0, offered=rate, achieved=rate)
+
+        search = find_sustained_rate(
+            probe, slo_p99=0.020, start_rate=100.0, bracket_steps=3
+        )
+        assert search["rate"] == 0.0
+        assert search["run"] is None
+        assert search["probes"] == 4  # start + 3 halvings
+
+    def test_invalid_start_rate_rejected(self):
+        with pytest.raises(DataflowError):
+            find_sustained_rate(
+                self._knee_probe(100.0), slo_p99=0.02, start_rate=0.0
+            )

@@ -232,6 +232,261 @@ class TestAdmissionControl:
         assert stats["rejected"] == 0
 
 
+class TestShedPolicy:
+    def test_shed_evicts_oldest_and_reports_it(self):
+        evicted = []
+        queue = RequestQueue(
+            max_batch=4, max_wait=0.01, max_pending=2,
+            admission="shed", on_evict=evicted.append,
+        )
+        for value in range(4):
+            queue.submit(_image(value))
+        # Depth 2: requests 0 and 1 were shed, 2 and 3 remain.
+        assert [request.seq for request in evicted] == [0, 1]
+        batch = queue.next_batch()
+        assert [request.seq for request in batch] == [2, 3]
+        stats = queue.stats()
+        assert stats["shed"] == 2
+        assert stats["submitted"] == 4
+
+    def test_shed_callback_runs_outside_the_lock(self):
+        """Deadlock regression: an eviction callback that reads the
+        queue (a gateway failing a ticket may touch stats) must not
+        run under the queue lock."""
+        probes = []
+        queue = RequestQueue(
+            max_batch=2, max_wait=0.01, max_pending=1,
+            admission="shed",
+            on_evict=lambda request: probes.append(
+                queue.stats()["shed"]
+            ),
+        )
+        queue.submit(_image(0))
+        queue.submit(_image(1))
+        assert probes == [1]
+
+
+class TestConcurrentSubmitters:
+    """Stress tests: many threads submitting at once, every policy.
+
+    The exactly-once contract under concurrency: every admitted
+    request appears in exactly one drained batch, sequence numbers are
+    unique, and drained batches are in submission order.
+    """
+
+    def _drain(self, queue, eager=False):
+        seqs = []
+        while (batch := queue.next_batch(eager=eager)) is not None:
+            seqs.extend(request.seq for request in batch)
+        return seqs
+
+    def test_block_policy_exactly_once_under_contention(self):
+        submitters, per_thread = 8, 25
+        queue = RequestQueue(
+            max_batch=4, max_wait=0.0, max_pending=6,
+            admission="block",
+        )
+        drained = []
+        consumer = threading.Thread(
+            target=lambda: drained.extend(self._drain(queue))
+        )
+        consumer.start()
+
+        def submit_many(thread_index):
+            for value in range(per_thread):
+                queue.submit(_image(thread_index * 1000 + value))
+
+        threads = [
+            threading.Thread(target=submit_many, args=(index,))
+            for index in range(submitters)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        queue.close()
+        consumer.join(timeout=30)
+        assert not consumer.is_alive()
+        total = submitters * per_thread
+        assert sorted(drained) == list(range(total))
+        assert drained == sorted(drained)  # submission order
+        stats = queue.stats()
+        assert stats["submitted"] == total
+        assert stats["rejected"] == 0 and stats["shed"] == 0
+        assert stats["depth_high_watermark"] <= 6
+
+    def test_reject_policy_accounts_every_outcome(self):
+        submitters, per_thread = 6, 20
+        queue = RequestQueue(
+            max_batch=2, max_wait=0.0, max_pending=3,
+            admission="reject",
+        )
+        admitted = []
+        admitted_lock = threading.Lock()
+        drained = []
+        consumer = threading.Thread(
+            target=lambda: drained.extend(self._drain(queue))
+        )
+        consumer.start()
+
+        def submit_many():
+            for value in range(per_thread):
+                try:
+                    seq = queue.submit(_image(value))
+                except DataflowError:
+                    continue
+                with admitted_lock:
+                    admitted.append(seq)
+
+        threads = [
+            threading.Thread(target=submit_many)
+            for _ in range(submitters)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        queue.close()
+        consumer.join(timeout=30)
+        assert not consumer.is_alive()
+        # Admitted and drained agree exactly — nothing lost, nothing
+        # duplicated — and the books balance.
+        assert sorted(drained) == sorted(admitted)
+        assert len(set(admitted)) == len(admitted)
+        stats = queue.stats()
+        assert stats["submitted"] == len(admitted)
+        assert (
+            stats["submitted"] + stats["rejected"]
+            == submitters * per_thread
+        )
+
+    def test_shed_policy_conserves_requests_under_contention(self):
+        submitters, per_thread = 6, 20
+        evicted = []
+        evicted_lock = threading.Lock()
+
+        def on_evict(request):
+            with evicted_lock:
+                evicted.append(request.seq)
+
+        queue = RequestQueue(
+            max_batch=2, max_wait=0.0, max_pending=3,
+            admission="shed", on_evict=on_evict,
+        )
+        drained = []
+        consumer = threading.Thread(
+            target=lambda: drained.extend(self._drain(queue))
+        )
+        consumer.start()
+
+        def submit_many():
+            for value in range(per_thread):
+                queue.submit(_image(value))
+
+        threads = [
+            threading.Thread(target=submit_many)
+            for _ in range(submitters)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        queue.close()
+        consumer.join(timeout=30)
+        assert not consumer.is_alive()
+        total = submitters * per_thread
+        # Conservation: every submitted request was either drained or
+        # shed, exactly once.
+        assert sorted(drained + evicted) == list(range(total))
+        stats = queue.stats()
+        assert stats["submitted"] == total
+        assert stats["shed"] == len(evicted)
+
+    def test_eager_consumer_under_contention(self):
+        """An eager drain loop racing many submitters still sees every
+        request exactly once, in order."""
+        submitters, per_thread = 4, 30
+        queue = RequestQueue(max_batch=8, max_wait=60.0)
+        drained = []
+        consumer = threading.Thread(
+            target=lambda: drained.extend(
+                self._drain(queue, eager=True)
+            )
+        )
+        consumer.start()
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    queue.submit(_image(value))
+                    for value in range(per_thread)
+                ]
+            )
+            for _ in range(submitters)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        queue.close()
+        consumer.join(timeout=30)
+        assert not consumer.is_alive()
+        assert drained == list(range(submitters * per_thread))
+
+
+class TestEagerDispatch:
+    def test_eager_ships_partial_batch_immediately(self):
+        queue = RequestQueue(max_batch=8, max_wait=60.0)
+        queue.submit(_image(0))
+        start = time.monotonic()
+        batch = queue.next_batch(eager=True)
+        assert time.monotonic() - start < 1.0
+        assert len(batch) == 1
+
+    def test_eager_callable_reevaluated_on_poke(self):
+        """A consumer that entered the coalescing window under
+        backpressure must ship early when the predicate flips and the
+        queue is poked — not sit out the rest of max_wait."""
+        queue = RequestQueue(max_batch=8, max_wait=60.0)
+        eager_flag = threading.Event()
+        got = []
+
+        def consume():
+            got.append(queue.next_batch(eager=eager_flag.is_set))
+
+        queue.submit(_image(0))
+        consumer = threading.Thread(target=consume)
+        start = time.monotonic()
+        consumer.start()
+        time.sleep(0.05)
+        assert consumer.is_alive()  # parked in the 60s window
+        eager_flag.set()
+        queue.poke()
+        consumer.join(timeout=5)
+        assert not consumer.is_alive()
+        assert time.monotonic() - start < 5.0
+        assert len(got[0]) == 1
+
+    def test_spurious_poke_does_not_ship_early(self):
+        """poke() with an unchanged (false) predicate must leave the
+        window intact — the batch still coalesces."""
+        queue = RequestQueue(max_batch=2, max_wait=0.3)
+        got = []
+
+        def consume():
+            got.append(queue.next_batch(eager=False))
+
+        queue.submit(_image(0))
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        time.sleep(0.02)
+        queue.poke()  # spurious: nothing changed
+        time.sleep(0.02)
+        queue.submit(_image(1))  # fills the batch
+        consumer.join(timeout=5)
+        assert not consumer.is_alive()
+        assert [request.seq for request in got[0]] == [0, 1]
+
+
 class TestValidation:
     def test_bad_max_batch_rejected(self):
         with pytest.raises(DataflowError):
